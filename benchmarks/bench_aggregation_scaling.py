@@ -1,0 +1,72 @@
+"""E10 — scaling of the γ-aggregation operator over MOFT-sized relations.
+
+The paper's answer semantics is γ over the region relation; this bench
+measures COUNT / SUM / AVG grouped aggregation as the relation grows, and
+the columnar (NumPy) fast path against the row path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import Series, print_series, timed
+from repro.geometry import BoundingBox
+from repro.olap import aggregate
+from repro.synth import random_waypoint_moft
+
+BOX = BoundingBox(0, 0, 1000, 1000)
+ROW_COUNTS = (1_000, 10_000, 50_000)
+
+
+def _moft_rows(n_rows: int):
+    n_objects = max(10, n_rows // 100)
+    n_instants = max(2, n_rows // n_objects)
+    moft = random_waypoint_moft(
+        BOX, n_objects=n_objects, n_instants=n_instants, seed=31
+    )
+    return moft, list(moft.rows())
+
+
+@pytest.mark.parametrize("n_rows", ROW_COUNTS)
+def test_grouped_count(benchmark, n_rows):
+    _, rows = _moft_rows(n_rows)
+
+    def _run():
+        return aggregate(rows, "COUNT", None, group_by=["t"])
+
+    result = benchmark(_run)
+    assert sum(result.values()) == len(rows)
+
+
+@pytest.mark.parametrize("function", ["SUM", "AVG", "MIN", "MAX"])
+def test_grouped_measures(benchmark, function):
+    _, rows = _moft_rows(10_000)
+
+    def _run():
+        return aggregate(rows, function, "x", group_by=["oid"])
+
+    result = benchmark(_run)
+    assert result
+
+
+def test_columnar_vs_row_path(benchmark):
+    """The NumPy columnar path dominates the row path for global sums."""
+    moft, rows = _moft_rows(50_000)
+
+    def columnar():
+        _, xs, _ = moft.as_arrays()
+        return float(xs.sum())
+
+    def row_path():
+        return aggregate(rows, "SUM", "x")[()]
+
+    moft.as_arrays()  # warm the cache so we time the scan, not the build
+    col_time, col_value = timed(columnar)
+    row_time, row_value = timed(row_path)
+    assert col_value == pytest.approx(row_value)
+    series = [
+        Series("columnar (s)", [(len(rows), col_time)]),
+        Series("row path (s)", [(len(rows), row_time)]),
+    ]
+    print_series("Columnar vs row aggregation", series)
+    assert col_time < row_time
+    benchmark(columnar)

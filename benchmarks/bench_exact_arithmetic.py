@@ -1,0 +1,86 @@
+"""Ablation — exact (Fraction) vs float crossing arithmetic.
+
+The paper requires rational coordinates; our predicates run a float fast
+path with an exact-rational fallback near degeneracies (DESIGN.md §5).
+This bench measures the cost of forcing exactness and verifies float/exact
+agreement away from degeneracies.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import Point, Segment
+from repro.geometry.predicates import (
+    orientation,
+    segment_intersection_parameters,
+)
+
+
+def _float_crossings(n: int):
+    hits = 0
+    for i in range(n):
+        a = (0.0, float(i))
+        b = (10.0, float(i) + 0.5)
+        c = (5.0, -1.0)
+        d = (5.0, float(n) + 1.0)
+        if segment_intersection_parameters(a, b, c, d) is not None:
+            hits += 1
+    return hits
+
+
+def _fraction_crossings(n: int):
+    hits = 0
+    for i in range(n):
+        a = (Fraction(0), Fraction(i))
+        b = (Fraction(10), Fraction(i) + Fraction(1, 2))
+        c = (Fraction(5), Fraction(-1))
+        d = (Fraction(5), Fraction(n) + 1)
+        if segment_intersection_parameters(a, b, c, d) is not None:
+            hits += 1
+    return hits
+
+
+def test_float_fast_path(benchmark):
+    hits = benchmark(_float_crossings, 200)
+    assert hits == 200
+
+
+def test_fraction_inputs(benchmark):
+    """Fractions flow through the same code path (floats in the fast path,
+    exact in the fallback); the cost of float(·) conversion dominates."""
+    hits = benchmark(_fraction_crossings, 200)
+    assert hits == 200
+
+
+def test_exact_fallback_on_degeneracy(benchmark):
+    """Near-collinear configurations trigger the exact path every call."""
+
+    def _run():
+        decided = 0
+        for i in range(200):
+            # Points exactly collinear in rationals; float determinants are
+            # ambiguous at this scale and fall back to exact arithmetic.
+            a = (Fraction(0), Fraction(0))
+            b = (Fraction(1, 3), Fraction(1, 3))
+            c = (Fraction(2, 3) + Fraction(i, 10**15), Fraction(2, 3))
+            if orientation(a, b, c) in (-1, 0, 1):
+                decided += 1
+        return decided
+
+    assert benchmark(_run) == 200
+
+
+def test_float_and_exact_agree():
+    """Away from degeneracies the fast path equals exact evaluation."""
+    for i in range(-20, 21):
+        for j in range(-20, 21):
+            if (i, j) == (0, 0):
+                continue
+            float_result = orientation((0.0, 0.0), (7.0, 3.0), (float(i), float(j)))
+            exact_result = orientation(
+                (Fraction(0), Fraction(0)),
+                (Fraction(7), Fraction(3)),
+                (Fraction(i), Fraction(j)),
+            )
+            assert float_result == exact_result

@@ -1,0 +1,69 @@
+"""E1 — Figure 1: the six-bus scenario.
+
+Regenerates the figure's content as data: which neighborhoods are
+low-income, and where each bus is (or passes) relative to that region.
+The assertions encode every statement the paper makes about Figure 1.
+"""
+
+import pytest
+
+from repro.bench import print_table
+from repro.geometry import Point
+from repro.gis import POLYGON
+from repro.mo import LinearInterpolationTrajectory, passes_through
+from repro.synth import figure1_instance
+
+
+def _locate(world, x, y):
+    (gid,) = world.gis.point_rollup("Ln", POLYGON, Point(x, y))
+    (member,) = world.gis.alpha_inverse("neighborhood", gid)
+    return member
+
+
+def _figure1_rows(world):
+    rows = []
+    low = world.low_income_neighborhoods
+    for oid in sorted(world.moft.objects()):
+        visited = [
+            _locate(world, x, y) for _, x, y in world.moft.history(oid)
+        ]
+        sampled_low = [m for m in visited if m in low]
+        if world.moft.sample_count(oid) >= 2:
+            lit = LinearInterpolationTrajectory(
+                world.moft.trajectory_sample(oid)
+            )
+            passes_low = any(
+                passes_through(
+                    lit,
+                    world.gis.layer("Ln").element(
+                        POLYGON, world.gis.alpha("neighborhood", member)
+                    ),
+                )
+                for member in low
+            )
+        else:
+            passes_low = bool(sampled_low)
+        rows.append((oid, len(visited), len(sampled_low), passes_low))
+    return rows
+
+
+def test_figure1_scenario(paper_world, benchmark):
+    rows = benchmark(_figure1_rows, paper_world)
+    by_oid = {oid: (samples, low, passes) for oid, samples, low, passes in rows}
+
+    # O1 remains always within a low income region.
+    assert by_oid["O1"] == (4, 4, True)
+    # O2: high -> low -> high (one low-income sample of three).
+    assert by_oid["O2"] == (3, 1, True)
+    # O3, O4, O5 always in high-income neighborhoods.
+    for oid in ("O3", "O4", "O5"):
+        samples, low, passes = by_oid[oid]
+        assert low == 0 and not passes
+    # O6 passes through a low-income region but was not sampled inside it.
+    assert by_oid["O6"] == (2, 0, True)
+
+    print_table(
+        "Figure 1 scenario (per object)",
+        ["object", "samples", "low-income samples", "passes through low"],
+        rows,
+    )

@@ -1,0 +1,106 @@
+"""E12 — sample-only vs interpolated semantics (Type 4 vs Type 7).
+
+The paper's O6 passes through a low-income region without being sampled in
+it: sample semantics misses it, trajectory semantics catches it.  This
+bench quantifies the gap as the sampling rate coarsens — the shape to
+reproduce: interpolated counts ≥ sampled counts, with the gap growing as
+samples thin out.
+"""
+
+import pytest
+
+from repro.bench import Series, print_series
+from repro.geometry import BoundingBox, Point, Polygon
+from repro.mo import (
+    MOFT,
+    LinearInterpolationTrajectory,
+    passes_through,
+    sample_instants_inside,
+)
+from repro.query import RegionBuilder
+from repro.synth import LOW_INCOME_THRESHOLD, figure1_instance, random_waypoint_moft
+
+TARGET = Polygon.rectangle(40, 40, 60, 60)
+BOX = BoundingBox(0, 0, 100, 100)
+
+
+def _semantics_counts(n_instants: int, keep_every: int):
+    """Objects detected in TARGET under both semantics at a sampling rate."""
+    dense = random_waypoint_moft(BOX, 40, n_instants, speed=15.0, seed=41)
+    sparse = MOFT("FM")
+    for oid, t, x, y in dense.tuples():
+        if int(t) % keep_every == 0:
+            sparse.add(oid, t, x, y)
+    sampled = set()
+    interpolated = set()
+    for oid in sparse.objects():
+        sample = sparse.trajectory_sample(oid)
+        if sample_instants_inside(sample, TARGET):
+            sampled.add(oid)
+        if len(sample) >= 2 and passes_through(
+            LinearInterpolationTrajectory(sample), TARGET
+        ):
+            interpolated.add(oid)
+    return sampled, interpolated
+
+
+def test_paper_o6_case(paper_world, benchmark):
+    """The exact Figure 1 situation: O6 only found with interpolation."""
+    world = paper_world
+    sampled_region = (
+        RegionBuilder()
+        .from_moft("FMbus")
+        .in_attribute_polygon(
+            "neighborhood", value_filter=("income", "<", LOW_INCOME_THRESHOLD)
+        )
+        .output("oid")
+        .build(world.gis)
+    )
+    trajectory_region = (
+        RegionBuilder()
+        .from_moft("FMbus")
+        .trajectory_through_attribute(
+            "neighborhood",
+            value_filter=("income", "<", LOW_INCOME_THRESHOLD),
+            moft_name="FMbus",
+        )
+        .output("oid")
+        .build(world.gis)
+    )
+
+    def _run():
+        ctx = world.context()
+        s = {r["oid"] for r in sampled_region.evaluate(ctx)}
+        i = {r["oid"] for r in trajectory_region.evaluate(ctx)}
+        return s, i
+
+    sampled, interpolated = benchmark(_run)
+    assert sampled == {"O1", "O2"}
+    assert interpolated == {"O1", "O2", "O6"}
+
+
+@pytest.mark.parametrize("keep_every", [1, 2, 4, 8])
+def test_semantics_gap(benchmark, keep_every):
+    sampled, interpolated = benchmark(_semantics_counts, 32, keep_every)
+    assert sampled <= interpolated
+
+
+def test_gap_grows_with_sparser_sampling():
+    sampled_series = Series("sampled")
+    interpolated_series = Series("interpolated")
+    gap_series = Series("missed by sampling")
+    gaps = []
+    for keep_every in (1, 2, 4, 8):
+        sampled, interpolated = _semantics_counts(32, keep_every)
+        sampled_series.add(keep_every, len(sampled))
+        interpolated_series.add(keep_every, len(interpolated))
+        gap = len(interpolated - sampled)
+        gap_series.add(keep_every, gap)
+        gaps.append(gap)
+    print_series(
+        "Sampling rate vs detection (keep every k-th sample)",
+        [sampled_series, interpolated_series, gap_series],
+    )
+    # Dense sampling misses nothing extra... sparse sampling does.
+    assert gaps[-1] >= gaps[0]
+    assert max(gaps) > 0

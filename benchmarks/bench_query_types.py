@@ -1,0 +1,232 @@
+"""E5 — Section 3.1: one executable instance of each of the 8 query types.
+
+Each benchmark runs a representative query of the type and asserts both
+its answer and its classification.
+"""
+
+import pytest
+
+from repro.geometry import Polygon
+from repro.gis import GISFactTable, POLYGON, integrate_over_polygon, summable_aggregate
+from repro.query import (
+    AggregateSpec,
+    MovingObjectAggregateQuery,
+    QueryType,
+    RegionBuilder,
+    aggregate_trajectory_measure,
+    classify,
+    time_spent_in,
+)
+from repro.query.ast import (
+    Alpha,
+    And,
+    Compare,
+    Const,
+    MemberValue,
+    Moft,
+    PointIn,
+    TimeRollup,
+    Var,
+)
+from repro.query.region import SpatioTemporalRegion
+from repro.synth import LOW_INCOME_THRESHOLD
+
+OID, T, X, Y = Var("oid"), Var("t"), Var("x"), Var("y")
+PG, N = Var("pg"), Var("n")
+
+
+def test_type1_spatial_aggregation(paper_world, benchmark):
+    """Type 1: geometric aggregation of a density over region geometry."""
+    world = paper_world
+    polygons = [
+        world.gis.layer("Ln").element(
+            POLYGON, world.gis.alpha("neighborhood", member)
+        )
+        for member in sorted(world.low_income_neighborhoods)
+    ]
+
+    def _run():
+        # A uniform population density of 100 persons per unit area.
+        return sum(
+            integrate_over_polygon(lambda x, y: 100.0, p) for p in polygons
+        )
+
+    total = benchmark(_run)
+    # zuid (100) + berchem (100 + 8 bump) = 208 area units * 100.
+    expected_area = sum(p.area for p in polygons)
+    assert total == pytest.approx(100.0 * expected_area)
+
+
+def test_type2_spatial_with_numeric(paper_world, benchmark):
+    """Type 2: numeric application-part values select the region."""
+    world = paper_world
+    facts = GISFactTable(POLYGON, "Ln", ["population"])
+    for member in world.gis.alpha_members("neighborhood"):
+        gid = world.gis.alpha("neighborhood", member)
+        facts.set(gid, 10_000 if member in ("zuid", "berchem") else 40_000)
+
+    def _run():
+        low_ids = [
+            world.gis.alpha("neighborhood", member)
+            for member in world.gis.members_where(
+                "neighborhood",
+                lambda v: v("income") < LOW_INCOME_THRESHOLD,
+            )
+        ]
+        return summable_aggregate(low_ids, facts, "population", "SUM")
+
+    region = SpatioTemporalRegion(
+        ("pg",),
+        And(
+            Alpha("neighborhood", N, PG),
+            Compare(
+                MemberValue("neighborhood", N, "income"),
+                "<",
+                Const(LOW_INCOME_THRESHOLD),
+            ),
+        ),
+    )
+    assert classify(region) is QueryType.SPATIAL_WITH_NUMERIC
+    assert benchmark(_run) == 20_000
+
+
+def test_type3_trajectory_samples(paper_world, benchmark):
+    """Type 3: MOFT + Time only ("maximum number of buses per hour")."""
+    world = paper_world
+    region = SpatioTemporalRegion(
+        ("oid", "t"),
+        And(
+            Moft(OID, T, X, Y, "FMbus"),
+            TimeRollup(T, "timeOfDay", Const("Morning")),
+        ),
+    )
+    assert classify(region) is QueryType.TRAJECTORY_SAMPLES
+    query = MovingObjectAggregateQuery(
+        region, AggregateSpec(group_by=("t",))
+    )
+
+    def _run():
+        return query.run(world.context())
+
+    per_hour = benchmark(_run)
+    assert max(per_hour.values()) == 4  # t=3: O1, O2, O5, O6
+
+
+def test_type4_samples_with_geometry(paper_world, benchmark):
+    """Type 4: the running query's region."""
+    world = paper_world
+    region = (
+        RegionBuilder()
+        .from_moft("FMbus")
+        .during("timeOfDay", "Morning")
+        .in_attribute_polygon(
+            "neighborhood", value_filter=("income", "<", LOW_INCOME_THRESHOLD)
+        )
+        .build(world.gis)
+    )
+    assert classify(region) is QueryType.SAMPLES_WITH_GEOMETRY
+
+    def _run():
+        return len(region.evaluate(world.context()))
+
+    assert benchmark(_run) == 4
+
+
+def test_type5_aggregation_inside_region(paper_world, benchmark):
+    """Type 5: the region condition itself aggregates ("neighborhoods where
+    the number of poor residents exceeds a threshold")."""
+    world = paper_world
+    # The inner aggregation: population * poverty share per neighborhood.
+    population = {"zuid": 60_000, "berchem": 40_000, "centrum": 80_000, "noord": 90_000}
+    poor_share = {"zuid": 0.9, "berchem": 0.8, "centrum": 0.2, "noord": 0.1}
+    for member in population:
+        world.gis.set_member_value(
+            "neighborhood", member, "poor_population",
+            population[member] * poor_share[member],
+        )
+
+    def _run():
+        qualifying = world.gis.members_where(
+            "neighborhood", lambda v: v("poor_population") > 50_000
+        )
+        region = (
+            RegionBuilder()
+            .from_moft("FMbus")
+            .during("timeOfDay", "Morning")
+            .where_member("neighborhood", sorted(qualifying), kind=POLYGON)
+            .build(world.gis)
+        )
+        query = MovingObjectAggregateQuery(
+            region,
+            AggregateSpec(per_span_level="timeOfDay", per_span_member="Morning"),
+        )
+        return query.run_scalar(world.context()), region
+
+    (answer, region) = benchmark(_run)
+    # Only zuid has 54,000 poor residents; O1's 3 samples + O2's 1 / 3h.
+    assert answer == pytest.approx(4 / 3)
+    assert (
+        classify(region, region_uses_aggregation=True)
+        is QueryType.SAMPLES_WITH_AGGREGATED_REGION
+    )
+
+
+def test_type6_trajectory_as_spatial_object(paper_world, benchmark):
+    """Type 6: fixed instant (query 4)."""
+    world = paper_world
+    region = (
+        RegionBuilder()
+        .from_moft("FMbus", at_instant=3)
+        .in_attribute_polygon("neighborhood", member="zuid")
+        .build(world.gis)
+    )
+    assert classify(region) is QueryType.TRAJECTORY_AS_SPATIAL_OBJECT
+
+    def _run():
+        return len(region.evaluate(world.context()))
+
+    assert benchmark(_run) == 2  # O1 and O2 in zuid at t=3
+
+
+def test_type7_trajectory_query(paper_world, benchmark):
+    """Type 7: interpolation required (O6's pass-through)."""
+    world = paper_world
+    region = (
+        RegionBuilder()
+        .from_moft("FMbus")
+        .trajectory_through_attribute(
+            "neighborhood",
+            value_filter=("income", "<", LOW_INCOME_THRESHOLD),
+            moft_name="FMbus",
+        )
+        .output("oid")
+        .build(world.gis)
+    )
+    assert classify(region) is QueryType.TRAJECTORY_QUERY
+
+    def _run():
+        return {row["oid"] for row in region.evaluate(world.context())}
+
+    assert benchmark(_run) == {"O1", "O2", "O6"}
+
+
+def test_type8_trajectory_aggregation(paper_world, benchmark):
+    """Type 8: aggregate a per-trajectory measure (time in a region)."""
+    world = paper_world
+
+    def _run():
+        durations = time_spent_in(
+            world.context(), "neighborhood", "zuid", moft_name="FMbus"
+        )
+        return aggregate_trajectory_measure(durations, "SUM")
+
+    total = benchmark(_run)
+    # O1 spends its whole 3-hour span in zuid; O2 dips in around t=3.
+    assert total > 3.0
+    region = (
+        RegionBuilder().from_moft("FMbus").build(world.gis)
+    )
+    assert (
+        classify(region, aggregates_trajectory_measure=True)
+        is QueryType.TRAJECTORY_AGGREGATION
+    )

@@ -1,0 +1,49 @@
+"""E3 — Table 1: the moving-object fact table FM_bus.
+
+Regenerates the table and its derived per-object statistics (sample
+counts, time spans, trajectory lengths).
+"""
+
+import pytest
+
+from repro.bench import print_table
+from repro.mo import LinearInterpolationTrajectory
+from repro.synth import TABLE1_SAMPLES, table1_moft
+
+
+def _stats():
+    moft = table1_moft()
+    rows = []
+    for oid in sorted(moft.objects()):
+        history = moft.history(oid)
+        span = history[-1][0] - history[0][0]
+        if len(history) >= 2:
+            length = LinearInterpolationTrajectory(
+                moft.trajectory_sample(oid)
+            ).length
+        else:
+            length = 0.0
+        rows.append((oid, len(history), history[0][0], history[-1][0], length))
+    return moft, rows
+
+
+def test_table1_moft(benchmark):
+    moft, rows = benchmark(_stats)
+
+    assert len(moft) == len(TABLE1_SAMPLES) == 12
+    by_oid = {r[0]: r for r in rows}
+    # Table 1 row counts: O1 has 4 tuples at t=1..4, O2 3 at t=2..4, …
+    assert by_oid["O1"][1:4] == (4, 1.0, 4.0)
+    assert by_oid["O2"][1:4] == (3, 2.0, 4.0)
+    assert by_oid["O3"][1:4] == (1, 5.0, 5.0)
+    assert by_oid["O4"][1:4] == (1, 6.0, 6.0)
+    assert by_oid["O5"][1:4] == (1, 3.0, 3.0)
+    assert by_oid["O6"][1:4] == (2, 2.0, 3.0)
+    # Uniqueness of (Oid, t): the physical invariant of the table.
+    assert len({(oid, t) for oid, t, _, _ in moft.tuples()}) == 12
+
+    print_table(
+        "Table 1 (FM_bus) derived statistics",
+        ["object", "samples", "first t", "last t", "LIT length"],
+        rows,
+    )

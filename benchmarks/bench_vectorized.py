@@ -1,0 +1,99 @@
+"""E14 (ablation) — row-at-a-time solver vs columnar fast path.
+
+The logical solver handles arbitrary formulas; the common Type-4 shape
+vectorizes over the MOFT's columnar arrays.  Expected shape: identical
+answers, with the columnar path winning by a growing factor as the MOFT
+grows.
+"""
+
+import pytest
+
+from repro.bench import Series, print_series, timed
+from repro.geometry import BoundingBox
+from repro.query import EvaluationContext, RegionBuilder
+from repro.query.vectorized import samples_in_polygons
+from repro.synth import CityConfig, build_city, random_waypoint_moft
+from repro.temporal import TimeDimension, hourly
+
+from datetime import datetime
+
+MOFT_SIZES = (500, 2_000, 8_000)
+
+
+def _world(n_samples: int):
+    city = build_city(CityConfig(cols=6, rows=6, seed=9))
+    n_objects = max(10, n_samples // 40)
+    n_instants = max(2, n_samples // n_objects)
+    moft = random_waypoint_moft(
+        city.bounding_box, n_objects, n_instants, speed=8.0, seed=9
+    )
+    time_dim = TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(n_instants)
+    )
+    threshold = 2000
+    low = city.low_income_neighborhoods(threshold)
+    polygons = [
+        city.gis.layer("Ln").element(
+            "polygon", city.gis.alpha("neighborhood", member)
+        )
+        for member in low
+    ]
+    ctx = EvaluationContext(city.gis, time_dim, moft)
+    region = (
+        RegionBuilder()
+        .from_moft("FM")
+        .during("timeOfDay", "Morning")
+        .in_attribute_polygon(
+            "neighborhood", value_filter=("income", "<", threshold)
+        )
+        .build(city.gis)
+    )
+    morning = time_dim.instants_where("timeOfDay", "Morning")
+    return ctx, region, moft, polygons, morning
+
+
+@pytest.mark.parametrize("n_samples", MOFT_SIZES)
+def test_columnar_path(benchmark, n_samples):
+    ctx, region, moft, polygons, morning = _world(n_samples)
+
+    def _run():
+        return samples_in_polygons(moft, polygons, morning)
+
+    fast = benchmark(_run)
+    assert fast == region.evaluate_tuples(ctx)
+
+
+@pytest.mark.parametrize("n_samples", MOFT_SIZES[:2])
+def test_solver_path(benchmark, n_samples):
+    ctx, region, _, _, _ = _world(n_samples)
+
+    def _run():
+        return region.evaluate_tuples(ctx)
+
+    assert isinstance(benchmark(_run), set)
+
+
+def test_speedup_shape():
+    solver_series = Series("solver (s)")
+    columnar_series = Series("columnar (s)")
+    speedup_series = Series("speedup")
+    for n_samples in MOFT_SIZES:
+        ctx, region, moft, polygons, morning = _world(n_samples)
+        solver_time, solver_answer = timed(
+            lambda: region.evaluate_tuples(ctx), repeat=1
+        )
+        columnar_time, columnar_answer = timed(
+            lambda: samples_in_polygons(moft, polygons, morning), repeat=3
+        )
+        assert columnar_answer == solver_answer
+        solver_series.add(n_samples, solver_time)
+        columnar_series.add(n_samples, columnar_time)
+        speedup_series.add(
+            n_samples,
+            solver_time / columnar_time if columnar_time else float("inf"),
+        )
+    print_series(
+        "Row solver vs columnar fast path",
+        [solver_series, columnar_series, speedup_series],
+    )
+    assert all(s > 1 for _, s in speedup_series.points)

@@ -1,0 +1,67 @@
+"""E15 — GIS + OLAP combination: warehouse aggregates over geometric results.
+
+The paper's Section 1 motivation: economic facts live in a conventional
+data warehouse, geometry in GIS layers, and queries combine both ("revenue
+of stores in cities crossed by the river").  Benchmarks the combined query
+under both evaluation strategies and validates the cube cross-check.
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro.gis import POLYGON, POLYLINE
+from repro.query import EvaluationContext, geometric_subquery
+from repro.synth import (
+    CityConfig,
+    build_city,
+    revenue_of_cities,
+    sales_cube,
+    sales_fact_table,
+)
+from repro.temporal import TimeDimension, hourly
+
+DAYS = ["2006-01-09", "2006-01-10"]
+
+
+@pytest.fixture(scope="module")
+def warehouse_world():
+    city = build_city(CityConfig(cols=6, rows=6, seed=15))
+    table = sales_fact_table(city, DAYS, seed=15)
+    time_dim = TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(48)
+    )
+    return city, table, time_dim
+
+
+@pytest.mark.parametrize("use_overlay", [True, False], ids=["overlay", "naive"])
+def test_revenue_of_crossed_cities(warehouse_world, benchmark, use_overlay):
+    city, table, time_dim = warehouse_world
+    ctx = EvaluationContext(city.gis, time_dim, None, use_overlay=use_overlay)
+
+    def _run():
+        crossed = geometric_subquery(
+            ctx, ("Lc", POLYGON), [("intersects", ("Lr", POLYLINE))]
+        )
+        names = {
+            name
+            for gid in crossed
+            for name in city.gis.alpha_inverse("city", gid)
+        }
+        return revenue_of_cities(city, table, names)
+
+    revenue = benchmark(_run)
+    assert revenue > 0
+
+
+def test_cube_rollup_cost(warehouse_world, benchmark):
+    city, table, time_dim = warehouse_world
+    cube = sales_cube(city, table, time_dim)
+
+    def _run():
+        return cube.rollup({"store": "city", "day": "month"}, "SUM", "revenue")
+
+    cells = benchmark(_run)
+    total = sum(cells.values())
+    direct = sum(row["revenue"] for row in table.rows())
+    assert total == pytest.approx(direct)

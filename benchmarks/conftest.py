@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Worlds are built once per session: pytest-benchmark re-invokes the timed
+callable many times, so fixtures must be cheap to reference.
+"""
+
+import pytest
+
+from repro.bench import SCALES, build_world, context_for
+from repro.synth import figure1_instance
+
+
+@pytest.fixture(scope="session")
+def paper_world():
+    """The exact Figure 1 / Table 1 instance."""
+    return figure1_instance()
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small synthetic world (city, MOFT, time dimension)."""
+    return build_world(SCALES[0])
+
+
+@pytest.fixture(scope="session")
+def medium_world():
+    """A medium synthetic world."""
+    return build_world(SCALES[1])

@@ -1,0 +1,76 @@
+"""Moving regions: a storm cell sweeping across the city.
+
+The paper explicitly fixes regions in time ("we do not address here the
+problem of moving regions") and cites Tøssebro & Güting's sliced
+representation as the way to lift that restriction.  This example uses the
+:class:`~repro.mo.movingregion.MovingRegion` extension: a storm polygon
+interpolated between radar snapshots sweeps west-to-east while traffic
+moves below, and we ask the moving-region analogue of the paper's region
+query — which objects were inside the storm *at their own sample
+instants* — plus an exposure-duration aggregate.
+
+Run with::
+
+    python examples/moving_storm.py
+"""
+
+from repro.geometry import Point, Polygon
+from repro.mo.movingregion import MovingRegion
+from repro.olap import AggregateFunction
+from repro.synth import CityConfig, build_city, random_waypoint_moft
+
+N_INSTANTS = 24
+
+
+def main() -> None:
+    city = build_city(CityConfig(cols=6, rows=6, seed=404))
+    box = city.bounding_box
+    traffic = random_waypoint_moft(
+        box, n_objects=80, n_instants=N_INSTANTS, speed=6.0, seed=404
+    )
+
+    # Radar snapshots: the storm enters in the west, grows, exits east.
+    third = box.width / 3
+    storm = MovingRegion(
+        [
+            (0, Polygon.rectangle(-third, 10, 0 + 4, box.height - 10)),
+            (8, Polygon.rectangle(third / 2, 5, third * 1.5, box.height - 5)),
+            (16, Polygon.rectangle(third * 1.5, 0, third * 2.8, box.height)),
+            (23, Polygon.rectangle(box.width - 4, 10, box.width + third, box.height - 10)),
+        ]
+    )
+    print(f"Storm time domain: {storm.time_domain}")
+    for t in (0, 6, 12, 18, 23):
+        print(f"  t={t:2d}: storm area {storm.area_at(t):7.1f}, "
+              f"centroid x {storm.polygon_at(t).centroid.x:6.1f}")
+
+    hits = storm.samples_inside(traffic)
+    objects_hit = {oid for oid, _ in hits}
+    print(f"\nSamples caught in the storm: {len(hits)}")
+    print(f"Objects hit at least once:   {len(objects_hit)} "
+          f"of {len(traffic.objects())}")
+
+    # Exposure per object (count of sampled instants inside) -> aggregate.
+    exposure = {}
+    for oid, _ in hits:
+        exposure[oid] = exposure.get(oid, 0) + 1
+    if exposure:
+        values = list(exposure.values())
+        print(f"Exposure instants per hit object: "
+              f"max {AggregateFunction.MAX.apply(values):.0f}, "
+              f"avg {AggregateFunction.AVG.apply(values):.2f}")
+
+    # Sanity: the static-region reading differs — a fixed region equal to
+    # the storm's first snapshot catches a different set.
+    static = storm.polygon_at(0)
+    static_hits = {
+        (oid, t)
+        for oid, t, x, y in traffic.tuples()
+        if static.contains_point(Point(x, y))
+    }
+    print(f"\nStatic first-snapshot region would catch {len(static_hits)} "
+          f"samples — the moving region caught {len(hits)}")
+
+
+if __name__ == "__main__":
+    main()

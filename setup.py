@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+PEP 660 editable installs need the ``wheel`` package; offline environments
+without it can fall back to the legacy develop path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+which requires this file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

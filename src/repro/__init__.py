@@ -1,0 +1,66 @@
+"""repro — a reproduction of "A Data Model for Moving Objects Supporting
+Aggregation" (Kuijpers & Vaisman, ICDE 2007).
+
+The library integrates three worlds into one queryable model, exactly as
+the paper does:
+
+* a **GIS** of thematic layers with per-layer geometry hierarchies,
+  rollup relations and α functions (:mod:`repro.gis`, built on the
+  geometry kernel :mod:`repro.geometry`);
+* classical **OLAP** dimensions and fact tables, including the Time
+  dimension (:mod:`repro.olap`, :mod:`repro.temporal`);
+* **moving objects**: the MOFT, trajectory samples and interpolated
+  trajectories (:mod:`repro.mo`).
+
+On top sits the paper's contribution (:mod:`repro.query`): spatio-temporal
+regions defined by constraint formulas, γ-aggregation over them, the
+eight-type query taxonomy, and the overlay-precomputation evaluation
+strategy — plus the Piet-QL language (:mod:`repro.pietql`) and synthetic
+data generators including the exact Figure 1 instance (:mod:`repro.synth`).
+
+Quickstart::
+
+    from repro.synth import figure1_instance, LOW_INCOME_THRESHOLD
+    from repro.query import RegionBuilder
+
+    world = figure1_instance()
+    query = (
+        RegionBuilder()
+        .from_moft("FMbus")
+        .during("timeOfDay", "Morning")
+        .in_attribute_polygon(
+            "neighborhood", value_filter=("income", "<", LOW_INCOME_THRESHOLD)
+        )
+        .count_query(per_span=("timeOfDay", "Morning"), gis=world.gis)
+    )
+    print(query.run_scalar(world.context()))  # 1.333… (Remark 1)
+"""
+
+from repro.errors import (
+    AggregationError,
+    EvaluationError,
+    GeometryError,
+    InstanceError,
+    PietQLError,
+    QueryError,
+    ReproError,
+    RollupError,
+    SchemaError,
+    TrajectoryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationError",
+    "EvaluationError",
+    "GeometryError",
+    "InstanceError",
+    "PietQLError",
+    "QueryError",
+    "ReproError",
+    "RollupError",
+    "SchemaError",
+    "TrajectoryError",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Shared exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems define
+narrower types here (rather than per-module) so that cross-layer code, e.g.
+the query evaluator calling into geometry and OLAP, can discriminate error
+classes without importing implementation modules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction or unsupported geometric operation."""
+
+
+class SchemaError(ReproError):
+    """Invalid dimension / fact-table schema definition."""
+
+
+class InstanceError(ReproError):
+    """A dimension or GIS instance violates its schema."""
+
+
+class RollupError(InstanceError):
+    """A rollup function or relation is missing, ambiguous or inconsistent."""
+
+
+class AggregationError(ReproError):
+    """An aggregate operation was applied to incompatible data."""
+
+
+class QueryError(ReproError):
+    """A constraint formula or aggregate query is malformed."""
+
+
+class EvaluationError(QueryError):
+    """A well-formed query could not be evaluated against the instance."""
+
+
+class PietQLError(ReproError):
+    """Base class for Piet-QL language errors."""
+
+
+class PietQLSyntaxError(PietQLError):
+    """The Piet-QL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 1, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class PietQLExecutionError(PietQLError):
+    """A parsed Piet-QL query referenced unknown layers, levels or measures."""
+
+
+class TrajectoryError(ReproError):
+    """Invalid trajectory sample or trajectory operation."""

@@ -1,0 +1,151 @@
+"""A uniform-grid spatial index.
+
+The Piet evaluation strategy (Section 5 of the paper) precomputes layer
+overlays and then intersects trajectory segments with the geometries
+returned by the geometric subquery.  Both steps need a candidate filter:
+given a bounding box, which geometry ids can possibly intersect it?  A
+uniform grid answers this in O(cells touched) and is trivially correct,
+which suits a reproduction better than a tuned R-tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import BoundingBox, Point
+
+
+class UniformGridIndex:
+    """Maps object ids to grid cells by bounding box.
+
+    Parameters
+    ----------
+    extent:
+        The world box covered by the grid.  Objects may spill outside it;
+        coordinates are clamped to the border cells.
+    cell_size:
+        Edge length of the square cells.  Smaller cells mean fewer false
+        positives per query but more cells per insertion.
+    """
+
+    def __init__(self, extent: BoundingBox, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise GeometryError("cell size must be positive")
+        self.extent = extent
+        self.cell_size = float(cell_size)
+        self._cols = max(1, math.ceil(extent.width / self.cell_size))
+        self._rows = max(1, math.ceil(extent.height / self.cell_size))
+        self._cells: Dict[Tuple[int, int], Set[Hashable]] = {}
+        self._boxes: Dict[Hashable, BoundingBox] = {}
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __contains__(self, object_id: Hashable) -> bool:
+        return object_id in self._boxes
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Grid dimensions as ``(columns, rows)``."""
+        return (self._cols, self._rows)
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        col = int((x - self.extent.min_x) / self.cell_size)
+        row = int((y - self.extent.min_y) / self.cell_size)
+        return (
+            min(max(col, 0), self._cols - 1),
+            min(max(row, 0), self._rows - 1),
+        )
+
+    def _cells_for_box(self, box: BoundingBox) -> Iterable[Tuple[int, int]]:
+        c0, r0 = self._cell_of(box.min_x, box.min_y)
+        c1, r1 = self._cell_of(box.max_x, box.max_y)
+        for col in range(c0, c1 + 1):
+            for row in range(r0, r1 + 1):
+                yield (col, row)
+
+    def insert(self, object_id: Hashable, box: BoundingBox) -> None:
+        """Register ``object_id`` with extent ``box``.
+
+        Re-inserting an id replaces its previous extent.
+        """
+        if object_id in self._boxes:
+            self.remove(object_id)
+        self._boxes[object_id] = box
+        for cell in self._cells_for_box(box):
+            self._cells.setdefault(cell, set()).add(object_id)
+
+    def remove(self, object_id: Hashable) -> None:
+        """Remove ``object_id``; unknown ids raise KeyError."""
+        box = self._boxes.pop(object_id)
+        for cell in self._cells_for_box(box):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(object_id)
+                if not bucket:
+                    del self._cells[cell]
+
+    def bbox_of(self, object_id: Hashable) -> BoundingBox:
+        """Return the registered extent of ``object_id``."""
+        return self._boxes[object_id]
+
+    def query_box(self, box: BoundingBox) -> Set[Hashable]:
+        """Return ids whose registered extent intersects ``box``.
+
+        This is a *candidate* set at grid granularity refined by an exact
+        bbox check; callers apply exact geometry predicates afterwards.
+        """
+        found: Set[Hashable] = set()
+        for cell in self._cells_for_box(box):
+            for object_id in self._cells.get(cell, ()):
+                if object_id not in found and self._boxes[object_id].intersects(box):
+                    found.add(object_id)
+        return found
+
+    def query_point(self, point: Point) -> Set[Hashable]:
+        """Return ids whose registered extent contains ``point``."""
+        cell = self._cell_of(float(point.x), float(point.y))
+        return {
+            object_id
+            for object_id in self._cells.get(cell, ())
+            if self._boxes[object_id].contains_point(point)
+        }
+
+    def items(self) -> Iterable[Tuple[Hashable, BoundingBox]]:
+        """Iterate over ``(object_id, bbox)`` pairs."""
+        return self._boxes.items()
+
+
+def index_for_geometries(
+    geometries: Dict[Hashable, object], cell_size: float | None = None
+) -> UniformGridIndex:
+    """Build an index over a mapping ``id -> geometry``.
+
+    Every geometry must expose a ``bbox`` attribute (Point gets a degenerate
+    box).  When ``cell_size`` is omitted, a heuristic picks the size so the
+    grid has on the order of one object per cell.
+    """
+    if not geometries:
+        raise GeometryError("cannot index an empty geometry collection")
+    boxes: Dict[Hashable, BoundingBox] = {}
+    for object_id, geom in geometries.items():
+        if isinstance(geom, Point):
+            boxes[object_id] = BoundingBox(geom.x, geom.y, geom.x, geom.y)
+        else:
+            boxes[object_id] = geom.bbox
+    extent = None
+    for box in boxes.values():
+        extent = box if extent is None else extent.union(box)
+    assert extent is not None
+    if cell_size is None:
+        span = max(extent.width, extent.height)
+        if span == 0:
+            cell_size = 1.0
+        else:
+            cell_size = span / max(1.0, math.sqrt(len(boxes)))
+    index = UniformGridIndex(extent.expanded(cell_size), cell_size)
+    for object_id, box in boxes.items():
+        index.insert(object_id, box)
+    return index

@@ -1,0 +1,154 @@
+"""Geometry interchange: WKT and GeoJSON.
+
+The geometry kernel is self-contained, but downstream users live in a
+Shapely/PostGIS world; this module converts both ways for the kernel's
+types (Point, Segment as LINESTRING, Polyline as LINESTRING, Polygon with
+holes) so layers can be loaded from, and exported to, standard formats.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+
+
+def _format_coord(value: float) -> str:
+    text = f"{float(value):.10f}".rstrip("0").rstrip(".")
+    return text if text not in ("-0", "") else "0"
+
+
+def _format_points(points: Sequence[Point]) -> str:
+    return ", ".join(
+        f"{_format_coord(p.x)} {_format_coord(p.y)}" for p in points
+    )
+
+
+def to_wkt(geometry: object) -> str:
+    """Serialize a geometry to WKT."""
+    if isinstance(geometry, Point):
+        return f"POINT ({_format_coord(geometry.x)} {_format_coord(geometry.y)})"
+    if isinstance(geometry, Segment):
+        return f"LINESTRING ({_format_points((geometry.start, geometry.end))})"
+    if isinstance(geometry, Polyline):
+        return f"LINESTRING ({_format_points(geometry.vertices)})"
+    if isinstance(geometry, Polygon):
+        rings = [list(geometry.shell) + [geometry.shell[0]]]
+        for hole in geometry.holes:
+            rings.append(list(hole) + [hole[0]])
+        body = ", ".join(f"({_format_points(ring)})" for ring in rings)
+        return f"POLYGON ({body})"
+    raise GeometryError(
+        f"cannot serialize {type(geometry).__name__} to WKT"
+    )
+
+
+_WKT_RE = re.compile(r"^\s*(POINT|LINESTRING|POLYGON)\s*\((.*)\)\s*$", re.S)
+
+
+def _parse_coords(text: str) -> List[Point]:
+    points = []
+    for pair in text.split(","):
+        parts = pair.split()
+        if len(parts) != 2:
+            raise GeometryError(f"malformed WKT coordinate pair: {pair!r}")
+        points.append(Point(float(parts[0]), float(parts[1])))
+    return points
+
+
+def from_wkt(text: str) -> object:
+    """Parse WKT into a kernel geometry.
+
+    POINT → Point, LINESTRING → Polyline (two-vertex linestrings stay
+    polylines; use ``.segments()[0]`` for a Segment), POLYGON → Polygon
+    with holes.
+    """
+    match = _WKT_RE.match(text.upper().replace("\n", " "))
+    if not match:
+        raise GeometryError(f"unparseable WKT: {text[:60]!r}")
+    kind, body = match.group(1), match.group(2).strip()
+    if kind == "POINT":
+        (point,) = _parse_coords(body)
+        return point
+    if kind == "LINESTRING":
+        return Polyline(_parse_coords(body))
+    # POLYGON: split rings on top-level parentheses.
+    rings: List[List[Point]] = []
+    depth = 0
+    start = None
+    for i, ch in enumerate(body):
+        if ch == "(":
+            if depth == 0:
+                start = i + 1
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0 and start is not None:
+                rings.append(_parse_coords(body[start:i]))
+    if not rings:
+        raise GeometryError(f"POLYGON without rings: {text[:60]!r}")
+    return Polygon(rings[0], holes=rings[1:])
+
+
+def to_geojson(geometry: object) -> Dict:
+    """Serialize a geometry to a GeoJSON geometry dict."""
+    if isinstance(geometry, Point):
+        return {
+            "type": "Point",
+            "coordinates": [float(geometry.x), float(geometry.y)],
+        }
+    if isinstance(geometry, Segment):
+        return {
+            "type": "LineString",
+            "coordinates": [
+                [float(geometry.start.x), float(geometry.start.y)],
+                [float(geometry.end.x), float(geometry.end.y)],
+            ],
+        }
+    if isinstance(geometry, Polyline):
+        return {
+            "type": "LineString",
+            "coordinates": [
+                [float(p.x), float(p.y)] for p in geometry.vertices
+            ],
+        }
+    if isinstance(geometry, Polygon):
+        rings = [list(geometry.shell) + [geometry.shell[0]]]
+        for hole in geometry.holes:
+            rings.append(list(hole) + [hole[0]])
+        return {
+            "type": "Polygon",
+            "coordinates": [
+                [[float(p.x), float(p.y)] for p in ring] for ring in rings
+            ],
+        }
+    raise GeometryError(
+        f"cannot serialize {type(geometry).__name__} to GeoJSON"
+    )
+
+
+def from_geojson(data: Dict) -> object:
+    """Parse a GeoJSON geometry dict into a kernel geometry."""
+    try:
+        kind = data["type"]
+        coordinates = data["coordinates"]
+    except (KeyError, TypeError):
+        raise GeometryError("malformed GeoJSON geometry") from None
+    if kind == "Point":
+        return Point(float(coordinates[0]), float(coordinates[1]))
+    if kind == "LineString":
+        return Polyline([Point(float(x), float(y)) for x, y in coordinates])
+    if kind == "Polygon":
+        rings = [
+            [Point(float(x), float(y)) for x, y in ring]
+            for ring in coordinates
+        ]
+        if not rings:
+            raise GeometryError("GeoJSON polygon without rings")
+        return Polygon(rings[0], holes=rings[1:])
+    raise GeometryError(f"unsupported GeoJSON type {kind!r}")

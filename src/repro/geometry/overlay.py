@@ -1,0 +1,318 @@
+"""Layer overlay precomputation — the Piet strategy of Section 5.
+
+The paper evaluates the geometric part of a query ("cities crossed by a
+river, containing at least one store") against a *precomputed overlay* of
+the thematic layers, so that at query time only geometry-id joins remain.
+:class:`LayerOverlay` reproduces this: it holds one spatial index per layer
+and materializes, per (layer pair, predicate), the relation of geometry-id
+pairs satisfying the predicate.  Query evaluation then reduces to set
+operations over those id relations (see :mod:`repro.query.evaluator`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.index import UniformGridIndex, index_for_geometries
+from repro.geometry.point import BoundingBox, Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+
+Geometry = object  # Point | Segment | Polyline | Polygon (duck-typed)
+
+
+def geometry_bbox(geom: Geometry) -> BoundingBox:
+    """Return the bounding box of any supported geometry."""
+    if isinstance(geom, Point):
+        return BoundingBox(geom.x, geom.y, geom.x, geom.y)
+    if isinstance(geom, (Segment, Polyline, Polygon)):
+        return geom.bbox
+    raise GeometryError(f"unsupported geometry type: {type(geom).__name__}")
+
+
+def geometries_intersect(a: Geometry, b: Geometry) -> bool:
+    """Exact intersection test across all supported geometry-type pairs."""
+    if isinstance(a, Point) and isinstance(b, Point):
+        return a == b
+    if isinstance(a, Point):
+        return geometries_intersect(b, a)
+    if isinstance(b, Point):
+        if isinstance(a, Segment):
+            return a.contains_point(b)
+        if isinstance(a, Polyline):
+            return a.contains_point(b)
+        if isinstance(a, Polygon):
+            return a.contains_point(b)
+    if isinstance(a, Segment) and isinstance(b, Segment):
+        return a.intersects(b)
+    if isinstance(a, Segment) and isinstance(b, Polyline):
+        return b.intersects_segment(a)
+    if isinstance(a, Polyline) and isinstance(b, Segment):
+        return a.intersects_segment(b)
+    if isinstance(a, Segment) and isinstance(b, Polygon):
+        return b.intersects_segment(a)
+    if isinstance(a, Polygon) and isinstance(b, Segment):
+        return a.intersects_segment(b)
+    if isinstance(a, Polyline) and isinstance(b, Polyline):
+        return a.intersects_polyline(b)
+    if isinstance(a, Polyline) and isinstance(b, Polygon):
+        return b.intersects_polyline(a)
+    if isinstance(a, Polygon) and isinstance(b, Polyline):
+        return a.intersects_polyline(b)
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return a.intersects_polygon(b)
+    raise GeometryError(
+        f"unsupported geometry pair: {type(a).__name__}, {type(b).__name__}"
+    )
+
+
+def geometry_contains(container: Geometry, contained: Geometry) -> bool:
+    """Exact containment test: does ``container`` fully contain ``contained``?
+
+    Only polygons can contain other geometries; everything else contains at
+    most points (on itself).
+    """
+    if isinstance(container, Polygon):
+        if isinstance(contained, Point):
+            return container.contains_point(contained)
+        if isinstance(contained, Segment):
+            intervals = container.clip_segment(contained)
+            return intervals == [(0.0, 1.0)]
+        if isinstance(contained, Polyline):
+            return all(
+                geometry_contains(container, seg) for seg in contained.segments()
+            )
+        if isinstance(contained, Polygon):
+            return container.contains_polygon(contained)
+    if isinstance(contained, Point):
+        if isinstance(container, Segment):
+            return container.contains_point(contained)
+        if isinstance(container, Polyline):
+            return container.contains_point(contained)
+        if isinstance(container, Point):
+            return container == contained
+    return False
+
+
+#: Predicates the overlay can precompute.
+PREDICATES = ("intersects", "contains", "within")
+
+
+class LayerOverlay:
+    """Precomputed cross-layer geometry-id relations.
+
+    Parameters
+    ----------
+    layers:
+        Mapping ``layer name -> {geometry id -> geometry}``.  Geometry ids
+        must be unique within their layer.
+
+    The pairwise relations are computed lazily per ``(layer_a, layer_b,
+    predicate)`` and cached, so building the overlay is cheap and only the
+    pairs a workload touches are materialized — mirroring Piet's selective
+    overlay precomputation.  :meth:`precompute_all` forces the full overlay.
+    """
+
+    def __init__(self, layers: Dict[str, Dict[Hashable, Geometry]]) -> None:
+        if not layers:
+            raise GeometryError("overlay needs at least one layer")
+        self._layers: Dict[str, Dict[Hashable, Geometry]] = {
+            name: dict(geoms) for name, geoms in layers.items()
+        }
+        self._indexes: Dict[str, UniformGridIndex] = {}
+        for name, geoms in self._layers.items():
+            if geoms:
+                self._indexes[name] = index_for_geometries(geoms)
+        self._cache: Dict[
+            Tuple[str, str, str], Set[Tuple[Hashable, Hashable]]
+        ] = {}
+
+    # -- layer access --------------------------------------------------------
+
+    @property
+    def layer_names(self) -> List[str]:
+        """Names of all layers in the overlay."""
+        return sorted(self._layers)
+
+    def layer(self, name: str) -> Dict[Hashable, Geometry]:
+        """Return the geometry mapping of a layer."""
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise GeometryError(f"unknown layer: {name!r}") from None
+
+    def geometry(self, layer_name: str, geometry_id: Hashable) -> Geometry:
+        """Return one geometry by layer and id."""
+        layer = self.layer(layer_name)
+        try:
+            return layer[geometry_id]
+        except KeyError:
+            raise GeometryError(
+                f"unknown geometry {geometry_id!r} in layer {layer_name!r}"
+            ) from None
+
+    def index(self, name: str) -> UniformGridIndex:
+        """Return the spatial index of a layer (layers must be non-empty)."""
+        self.layer(name)
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise GeometryError(f"layer {name!r} is empty") from None
+
+    # -- precomputed relations ------------------------------------------------
+
+    def pairs(
+        self, layer_a: str, layer_b: str, predicate: str = "intersects"
+    ) -> Set[Tuple[Hashable, Hashable]]:
+        """Return all ``(id_a, id_b)`` with ``predicate(geom_a, geom_b)``.
+
+        ``predicate`` is one of ``intersects`` (symmetric), ``contains``
+        (geom_a contains geom_b) or ``within`` (geom_a inside geom_b).
+        """
+        if predicate not in PREDICATES:
+            raise GeometryError(
+                f"unknown predicate {predicate!r}; expected one of {PREDICATES}"
+            )
+        key = (layer_a, layer_b, predicate)
+        if key not in self._cache:
+            self._cache[key] = self._compute_pairs(layer_a, layer_b, predicate)
+        return self._cache[key]
+
+    def related(
+        self,
+        layer_a: str,
+        geometry_id: Hashable,
+        layer_b: str,
+        predicate: str = "intersects",
+    ) -> Set[Hashable]:
+        """Return ids in ``layer_b`` related to one geometry of ``layer_a``."""
+        return {
+            id_b
+            for id_a, id_b in self.pairs(layer_a, layer_b, predicate)
+            if id_a == geometry_id
+        }
+
+    def precompute_all(self) -> int:
+        """Materialize every (ordered layer pair, predicate) relation.
+
+        Returns the number of relations computed.  This is the full Piet
+        overlay; benchmarks compare it against the lazy/naive strategies.
+        """
+        count = 0
+        names = self.layer_names
+        for a in names:
+            for b in names:
+                if a == b:
+                    continue
+                for predicate in PREDICATES:
+                    self.pairs(a, b, predicate)
+                    count += 1
+        return count
+
+    @property
+    def cached_relations(self) -> int:
+        """Number of (layer pair, predicate) relations materialized so far."""
+        return len(self._cache)
+
+    # -- persistence ------------------------------------------------------------
+
+    def export_cache(self) -> Dict:
+        """Serialize the materialized relations to a JSON-compatible dict.
+
+        The Piet strategy's whole point is precomputing the overlay once;
+        exporting the cache lets a deployment persist that work across
+        processes.  Only relations with string/number ids serialize; the
+        layer geometries themselves are not included (the cache is only
+        valid for the same layer contents).
+        """
+        return {
+            "relations": [
+                {
+                    "layer_a": key[0],
+                    "layer_b": key[1],
+                    "predicate": key[2],
+                    "pairs": sorted(
+                        [list(pair) for pair in pairs], key=repr
+                    ),
+                }
+                for key, pairs in sorted(self._cache.items())
+            ]
+        }
+
+    def import_cache(self, data: Dict) -> int:
+        """Load previously exported relations; returns how many were loaded.
+
+        Entries referring to unknown layers are rejected with
+        :class:`GeometryError` (a stale cache must not silently answer for
+        a different world).  Loaded relations overwrite existing ones.
+        """
+        try:
+            relations = data["relations"]
+        except (KeyError, TypeError):
+            raise GeometryError("malformed overlay cache") from None
+        loaded = 0
+        for entry in relations:
+            try:
+                layer_a = entry["layer_a"]
+                layer_b = entry["layer_b"]
+                predicate = entry["predicate"]
+                pairs = entry["pairs"]
+            except (KeyError, TypeError):
+                raise GeometryError("malformed overlay cache entry") from None
+            self.layer(layer_a)
+            self.layer(layer_b)
+            if predicate not in PREDICATES:
+                raise GeometryError(
+                    f"unknown predicate {predicate!r} in overlay cache"
+                )
+            self._cache[(layer_a, layer_b, predicate)] = {
+                (a, b) for a, b in pairs
+            }
+            loaded += 1
+        return loaded
+
+    def _compute_pairs(
+        self, layer_a: str, layer_b: str, predicate: str
+    ) -> Set[Tuple[Hashable, Hashable]]:
+        geoms_a = self.layer(layer_a)
+        geoms_b = self.layer(layer_b)
+        result: Set[Tuple[Hashable, Hashable]] = set()
+        if not geoms_a or not geoms_b:
+            return result
+        index_b = self.index(layer_b)
+        for id_a, geom_a in geoms_a.items():
+            candidates = index_b.query_box(geometry_bbox(geom_a))
+            for id_b in candidates:
+                geom_b = geoms_b[id_b]
+                if predicate == "intersects":
+                    hit = geometries_intersect(geom_a, geom_b)
+                elif predicate == "contains":
+                    hit = geometry_contains(geom_a, geom_b)
+                else:  # within
+                    hit = geometry_contains(geom_b, geom_a)
+                if hit:
+                    result.add((id_a, id_b))
+        return result
+
+    # -- point location --------------------------------------------------------
+
+    def locate_point(self, layer_name: str, point: Point) -> Set[Hashable]:
+        """Return ids of geometries in ``layer_name`` containing ``point``.
+
+        This implements the paper's rollup relation ``r^{Pt,G}_L(x, y, g)``:
+        the (infinite) point-to-geometry relation of the algebraic part,
+        answered on demand.  A point on a shared boundary belongs to every
+        adjacent geometry, as the paper requires.
+        """
+        geoms = self.layer(layer_name)
+        if not geoms:
+            return set()
+        index = self.index(layer_name)
+        hits: Set[Hashable] = set()
+        for candidate in index.query_point(point):
+            geom = geoms[candidate]
+            if geometries_intersect(geom, point):
+                hits.add(candidate)
+        return hits

@@ -1,0 +1,70 @@
+"""The GISOLAP model: GIS dimensions, fact tables and geometric aggregation.
+
+Implements Definitions 1–4 of the paper: layer hierarchies over geometry
+kinds, rollup relations and α functions, GIS fact tables, and the
+geometric-aggregation integral with its summable rewriting.
+"""
+
+from repro.gis.geometries import (
+    ALL,
+    ALL_GEOMETRY,
+    BUILTIN_KINDS,
+    DEFAULT_COMPOSITION,
+    LINE,
+    NODE,
+    POINT,
+    POLYGON,
+    POLYLINE,
+    expected_class,
+    kind_of,
+    validate_kind,
+)
+from repro.gis.layer import Layer
+from repro.gis.schema import (
+    AttributePlacement,
+    GISDimensionSchema,
+    LayerHierarchy,
+)
+from repro.gis.instance import GISDimensionInstance
+from repro.gis.facts import (
+    BaseGISFactTable,
+    GISFactTable,
+    TemporalGISFactTable,
+)
+from repro.gis.aggregation import (
+    geometric_aggregation,
+    integrate_along_polyline,
+    integrate_along_segment,
+    integrate_over_polygon,
+    sum_at_points,
+    summable_aggregate,
+)
+
+__all__ = [
+    "ALL",
+    "ALL_GEOMETRY",
+    "BUILTIN_KINDS",
+    "DEFAULT_COMPOSITION",
+    "LINE",
+    "NODE",
+    "POINT",
+    "POLYGON",
+    "POLYLINE",
+    "expected_class",
+    "kind_of",
+    "validate_kind",
+    "Layer",
+    "AttributePlacement",
+    "GISDimensionSchema",
+    "LayerHierarchy",
+    "GISDimensionInstance",
+    "BaseGISFactTable",
+    "GISFactTable",
+    "TemporalGISFactTable",
+    "geometric_aggregation",
+    "integrate_along_polyline",
+    "integrate_along_segment",
+    "integrate_over_polygon",
+    "sum_at_points",
+    "summable_aggregate",
+]

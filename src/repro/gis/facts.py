@@ -1,0 +1,251 @@
+"""GIS fact tables — Definition 3 of the paper.
+
+Two flavours:
+
+* :class:`GISFactTable` — measures attached to geometry identifiers at some
+  kind of some layer, e.g. ``(polyId, Ln, Year, Population)``;
+* :class:`BaseGISFactTable` — measures attached to *points* of ``R² × L``,
+  e.g. temperature fields.  A base table can hold sampled points and/or a
+  density function ``h(x, y)`` used by geometric aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import InstanceError, SchemaError
+from repro.geometry.point import Point
+from repro.gis import geometries as gk
+
+
+class GISFactTable:
+    """Measures keyed by geometry id: ``ft: dom(G) × L → dom(M1) × ...``."""
+
+    def __init__(
+        self, kind: str, layer_name: str, measures: Sequence[str]
+    ) -> None:
+        gk.validate_kind(kind)
+        if kind in (gk.POINT, gk.ALL):
+            raise SchemaError(
+                "GIS fact tables attach to identifiable kinds; use "
+                "BaseGISFactTable for point-level facts"
+            )
+        if not measures:
+            raise SchemaError("a fact table needs at least one measure")
+        if len(set(measures)) != len(measures):
+            raise SchemaError("duplicate measure names")
+        self.kind = kind
+        self.layer_name = layer_name
+        self.measures = tuple(measures)
+        self._facts: Dict[Hashable, Tuple[float, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, element_id: Hashable) -> bool:
+        return element_id in self._facts
+
+    def set(self, element_id: Hashable, *values: float) -> None:
+        """Record the measures of one geometry id."""
+        if len(values) != len(self.measures):
+            raise InstanceError(
+                f"expected {len(self.measures)} measure values "
+                f"({self.measures}), got {len(values)}"
+            )
+        self._facts[element_id] = tuple(values)
+
+    def get(self, element_id: Hashable, measure: Optional[str] = None):
+        """Return one measure value (or the full tuple when unspecified)."""
+        try:
+            values = self._facts[element_id]
+        except KeyError:
+            raise InstanceError(
+                f"no facts for element {element_id!r} in fact table over "
+                f"{self.layer_name}:{self.kind}"
+            ) from None
+        if measure is None:
+            return values
+        return values[self._measure_index(measure)]
+
+    def ids(self) -> Set[Hashable]:
+        """All geometry ids with facts."""
+        return set(self._facts)
+
+    def rows(self) -> Iterable[Dict[str, Hashable]]:
+        """Iterate as dict rows with an ``id`` column plus measures."""
+        for element_id, values in self._facts.items():
+            row: Dict[str, Hashable] = {"id": element_id}
+            row.update(zip(self.measures, values))
+            yield row
+
+    def _measure_index(self, measure: str) -> int:
+        try:
+            return self.measures.index(measure)
+        except ValueError:
+            raise SchemaError(
+                f"unknown measure {measure!r}; table has {self.measures}"
+            ) from None
+
+
+class TemporalGISFactTable:
+    """Geometry-id facts varying over a temporal level — Example 3.
+
+    "A fact table containing neighborhood populations across time ...
+    would be ``(polyId, L_neighb, Year, Population)``": measures are keyed
+    by ``(geometry id, temporal member)``, where the temporal member is a
+    member of some level of the Time dimension (a year, a month, a day).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        layer_name: str,
+        time_level: str,
+        measures: Sequence[str],
+    ) -> None:
+        gk.validate_kind(kind)
+        if kind in (gk.POINT, gk.ALL):
+            raise SchemaError(
+                "temporal GIS fact tables attach to identifiable kinds"
+            )
+        if not time_level:
+            raise SchemaError("a temporal level name is required")
+        if not measures:
+            raise SchemaError("a fact table needs at least one measure")
+        if len(set(measures)) != len(measures):
+            raise SchemaError("duplicate measure names")
+        self.kind = kind
+        self.layer_name = layer_name
+        self.time_level = time_level
+        self.measures = tuple(measures)
+        self._facts: Dict[Tuple[Hashable, Hashable], Tuple[float, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def set(
+        self, element_id: Hashable, time_member: Hashable, *values: float
+    ) -> None:
+        """Record the measures of one geometry id at one temporal member."""
+        if len(values) != len(self.measures):
+            raise InstanceError(
+                f"expected {len(self.measures)} measure values "
+                f"({self.measures}), got {len(values)}"
+            )
+        self._facts[(element_id, time_member)] = tuple(values)
+
+    def get(
+        self,
+        element_id: Hashable,
+        time_member: Hashable,
+        measure: Optional[str] = None,
+    ):
+        """Return one cell (or one measure of it)."""
+        try:
+            values = self._facts[(element_id, time_member)]
+        except KeyError:
+            raise InstanceError(
+                f"no facts for ({element_id!r}, {time_member!r}) in "
+                f"temporal fact table over {self.layer_name}:{self.kind}"
+            ) from None
+        if measure is None:
+            return values
+        try:
+            index = self.measures.index(measure)
+        except ValueError:
+            raise SchemaError(
+                f"unknown measure {measure!r}; table has {self.measures}"
+            ) from None
+        return values[index]
+
+    def series(
+        self, element_id: Hashable, measure: str
+    ) -> Dict[Hashable, float]:
+        """The measure's values over time for one geometry id."""
+        if measure not in self.measures:
+            raise SchemaError(
+                f"unknown measure {measure!r}; table has {self.measures}"
+            )
+        index = self.measures.index(measure)
+        return {
+            time_member: values[index]
+            for (gid, time_member), values in self._facts.items()
+            if gid == element_id
+        }
+
+    def at_time(self, time_member: Hashable) -> "GISFactTable":
+        """Project onto one temporal member: an ordinary GIS fact table.
+
+        The projection is what the (atemporal) summable rewriting of
+        Section 5 consumes — slice by year, then aggregate geometrically.
+        """
+        snapshot = GISFactTable(self.kind, self.layer_name, self.measures)
+        for (gid, member), values in self._facts.items():
+            if member == time_member:
+                snapshot.set(gid, *values)
+        return snapshot
+
+    def time_members(self) -> Set[Hashable]:
+        """All temporal members with at least one fact."""
+        return {member for _, member in self._facts}
+
+
+class BaseGISFactTable:
+    """Point-level facts: sampled points and/or a density function.
+
+    Definition 3 maps ``R² × L`` to measure tuples.  Finitely many sampled
+    points can be stored with :meth:`add_sample`; a *density* callable
+    ``h(x, y) -> float`` per measure can be registered with
+    :meth:`set_density` and is what the geometric-aggregation integral of
+    Definition 4 consumes.
+    """
+
+    def __init__(self, layer_name: str, measures: Sequence[str]) -> None:
+        if not measures:
+            raise SchemaError("a base fact table needs at least one measure")
+        if len(set(measures)) != len(measures):
+            raise SchemaError("duplicate measure names")
+        self.layer_name = layer_name
+        self.measures = tuple(measures)
+        self._samples: List[Tuple[Point, Tuple[float, ...]]] = []
+        self._densities: Dict[str, Callable[[float, float], float]] = {}
+
+    def add_sample(self, point: Point, *values: float) -> None:
+        """Record measures observed at one point."""
+        if len(values) != len(self.measures):
+            raise InstanceError(
+                f"expected {len(self.measures)} measure values, got "
+                f"{len(values)}"
+            )
+        self._samples.append((point, tuple(values)))
+
+    def samples(self) -> List[Tuple[Point, Tuple[float, ...]]]:
+        """All recorded point samples."""
+        return list(self._samples)
+
+    def set_density(
+        self, measure: str, density: Callable[[float, float], float]
+    ) -> None:
+        """Register a density function for a measure."""
+        if measure not in self.measures:
+            raise SchemaError(
+                f"unknown measure {measure!r}; table has {self.measures}"
+            )
+        self._densities[measure] = density
+
+    def density(self, measure: str) -> Callable[[float, float], float]:
+        """Return the density function of a measure."""
+        if measure not in self.measures:
+            raise SchemaError(
+                f"unknown measure {measure!r}; table has {self.measures}"
+            )
+        try:
+            return self._densities[measure]
+        except KeyError:
+            raise InstanceError(
+                f"no density registered for measure {measure!r}"
+            ) from None
+
+    def has_density(self, measure: str) -> bool:
+        """True when a density function is registered for the measure."""
+        return measure in self._densities

@@ -1,0 +1,92 @@
+"""Geometry kinds — the set ``G`` of the paper's data model.
+
+Section 3: "We assume that G contains at least the following elements
+(geometries): point, node, line, polyline, polygon and the distinguished
+element All.  More can be added."  ``point`` is the algebraic bottom (its
+domain is all of ``R² × L``), ``All`` is the top with the single member
+``all``; every other kind has a domain of geometry identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import SchemaError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+
+#: The algebraic bottom kind: infinite point sets, never materialized.
+POINT = "point"
+#: A named point feature (school, store, bus stop): finite, identified.
+NODE = "node"
+#: A straight line segment (one piece of a polyline).
+LINE = "line"
+#: A chain of lines (street, river, highway).
+POLYLINE = "polyline"
+#: A region, possibly with holes (neighborhood, city, province).
+POLYGON = "polygon"
+#: The distinguished top element.
+ALL = "All"
+
+#: All built-in geometry kinds.
+BUILTIN_KINDS = (POINT, NODE, LINE, POLYLINE, POLYGON, ALL)
+
+#: The single member of the All kind.
+ALL_GEOMETRY = "all"
+
+#: Which Python geometry class realizes each identifiable kind.
+KIND_CLASSES: Dict[str, Type] = {
+    NODE: Point,
+    LINE: Segment,
+    POLYLINE: Polyline,
+    POLYGON: Polygon,
+}
+
+#: The default composition edges among built-in kinds: ``(finer, coarser)``.
+#: Mirrors Figure 2: point -> node, point -> line -> polyline -> All,
+#: point -> polygon -> All, node -> All.
+DEFAULT_COMPOSITION = (
+    (POINT, NODE),
+    (POINT, LINE),
+    (LINE, POLYLINE),
+    (POINT, POLYGON),
+    (NODE, ALL),
+    (POLYLINE, ALL),
+    (POLYGON, ALL),
+)
+
+
+def validate_kind(kind: str) -> str:
+    """Return ``kind`` unchanged when it is a known geometry kind."""
+    if kind not in BUILTIN_KINDS:
+        raise SchemaError(
+            f"unknown geometry kind {kind!r}; expected one of {BUILTIN_KINDS}"
+        )
+    return kind
+
+
+def expected_class(kind: str) -> Type:
+    """Return the geometry class that elements of ``kind`` must be.
+
+    ``point`` and ``All`` raise: the former is algebraic (never stored),
+    the latter has no geometric extension.
+    """
+    validate_kind(kind)
+    try:
+        return KIND_CLASSES[kind]
+    except KeyError:
+        raise SchemaError(
+            f"geometry kind {kind!r} has no stored representation"
+        ) from None
+
+
+def kind_of(geometry: object) -> str:
+    """Classify a geometry object into its kind."""
+    for kind, cls in KIND_CLASSES.items():
+        if isinstance(geometry, cls):
+            return kind
+    raise SchemaError(
+        f"object of type {type(geometry).__name__} is not a supported geometry"
+    )

@@ -1,0 +1,81 @@
+"""Moving objects: the MOFT, trajectories and trajectory operations."""
+
+from repro.mo.moft import MOFT
+from repro.mo.trajectory import (
+    FunctionalTrajectory,
+    LinearInterpolationTrajectory,
+    Trajectory,
+    TrajectorySample,
+)
+from repro.mo.operations import (
+    distance_at,
+    entry_exit_times,
+    ever_within_distance,
+    first_entry_time,
+    intervals_inside,
+    intervals_within_distance,
+    minimum_distance,
+    passes_through,
+    sample_instants_inside,
+    stays_within,
+    time_inside,
+    time_within_distance,
+)
+from repro.mo.beads import Bead, Ellipse, Lifeline
+from repro.mo.movingregion import MovingRegion
+from repro.mo.io import from_csv_text, read_csv, to_csv_text, write_csv
+from repro.mo.flow import FlowGrid, flow_grid_for_moft
+from repro.mo.cleaning import (
+    clean_moft,
+    drop_stationary_noise,
+    remove_speed_outliers,
+    resample_uniform,
+)
+from repro.mo.similarity import (
+    discrete_frechet,
+    hausdorff,
+    most_similar_pair,
+    sample_frechet,
+    sample_hausdorff,
+    similarity_matrix,
+)
+
+__all__ = [
+    "MovingRegion",
+    "FlowGrid",
+    "flow_grid_for_moft",
+    "clean_moft",
+    "drop_stationary_noise",
+    "remove_speed_outliers",
+    "resample_uniform",
+    "discrete_frechet",
+    "hausdorff",
+    "most_similar_pair",
+    "sample_frechet",
+    "sample_hausdorff",
+    "similarity_matrix",
+    "from_csv_text",
+    "read_csv",
+    "to_csv_text",
+    "write_csv",
+    "MOFT",
+    "FunctionalTrajectory",
+    "LinearInterpolationTrajectory",
+    "Trajectory",
+    "TrajectorySample",
+    "distance_at",
+    "entry_exit_times",
+    "ever_within_distance",
+    "first_entry_time",
+    "intervals_inside",
+    "intervals_within_distance",
+    "minimum_distance",
+    "passes_through",
+    "sample_instants_inside",
+    "stays_within",
+    "time_inside",
+    "time_within_distance",
+    "Bead",
+    "Ellipse",
+    "Lifeline",
+]

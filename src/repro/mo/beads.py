@@ -1,0 +1,249 @@
+"""Hornsby–Egenhofer lifeline beads (Section 2, related work).
+
+Between two consecutive observations ``(t1, p1)`` and ``(t2, p2)``, an
+object bounded by maximum speed ``v`` can only have been at points
+reachable from both: ``|p - p1| <= v (t - t1)`` and ``|p - p2| <= v (t2 - t)``.
+In space–time this set is the intersection of two cones — a *bead*; its
+projection onto the xy-plane is an ellipse with foci p1, p2 and major axis
+``v (t2 - t1)``.  A chain of beads over a whole sample is a *lifeline*.
+
+The paper cites this model as the principled treatment of location
+uncertainty between samples; we provide it as the uncertainty-aware
+companion to the linear-interpolation semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import TrajectoryError
+from repro.geometry.point import Point
+from repro.mo.trajectory import TrajectorySample
+
+
+@dataclass(frozen=True)
+class Ellipse:
+    """An ellipse by center, semi-axes and rotation angle (radians)."""
+
+    center: Point
+    semi_major: float
+    semi_minor: float
+    angle: float
+
+    def contains_point(self, point: Point) -> bool:
+        """Closed containment test."""
+        ca, sa = math.cos(self.angle), math.sin(self.angle)
+        dx = float(point.x) - float(self.center.x)
+        dy = float(point.y) - float(self.center.y)
+        u = ca * dx + sa * dy
+        v = -sa * dx + ca * dy
+        if self.semi_major == 0:
+            return u == 0 and v == 0
+        if self.semi_minor == 0:
+            return abs(u) <= self.semi_major and abs(v) <= 1e-12
+        return (u / self.semi_major) ** 2 + (v / self.semi_minor) ** 2 <= 1 + 1e-12
+
+    @property
+    def area(self) -> float:
+        """Area ``π a b``."""
+        return math.pi * self.semi_major * self.semi_minor
+
+    def boundary_points(self, count: int = 32) -> List[Point]:
+        """Return ``count`` points evenly spaced (in angle) on the boundary."""
+        ca, sa = math.cos(self.angle), math.sin(self.angle)
+        points = []
+        for i in range(count):
+            theta = 2 * math.pi * i / count
+            u = self.semi_major * math.cos(theta)
+            v = self.semi_minor * math.sin(theta)
+            points.append(
+                Point(
+                    float(self.center.x) + ca * u - sa * v,
+                    float(self.center.y) + sa * u + ca * v,
+                )
+            )
+        return points
+
+    def intersects_polygon(self, polygon, samples: int = 64) -> bool:
+        """Approximate ellipse–polygon intersection test.
+
+        True when the polygon contains the center or a sampled boundary
+        point of the ellipse, or the ellipse contains a polygon vertex, or
+        a polygon edge crosses the sampled ellipse boundary.  Exact up to
+        the angular sampling resolution.
+        """
+        from repro.geometry.polyline import Polyline
+
+        if polygon.contains_point(self.center):
+            return True
+        if any(self.contains_point(p) for p in polygon.shell):
+            return True
+        boundary = self.boundary_points(samples)
+        if any(polygon.contains_point(p) for p in boundary):
+            return True
+        ring = Polyline(boundary + [boundary[0]])
+        return any(
+            ring.intersects_segment(edge)
+            for edge in polygon.boundary_segments()
+        )
+
+
+class Bead:
+    """One lifeline bead between two consecutive observations."""
+
+    def __init__(
+        self,
+        t1: float,
+        p1: Point,
+        t2: float,
+        p2: Point,
+        max_speed: float,
+    ) -> None:
+        if not t1 < t2:
+            raise TrajectoryError("bead needs t1 < t2")
+        if max_speed <= 0:
+            raise TrajectoryError("maximum speed must be positive")
+        required = p1.distance_to(p2) / (t2 - t1)
+        if required > max_speed * (1 + 1e-9):
+            raise TrajectoryError(
+                f"observations incompatible with max speed: need "
+                f"{required:.6g}, allowed {max_speed:.6g}"
+            )
+        self.t1, self.p1 = float(t1), p1
+        self.t2, self.p2 = float(t2), p2
+        self.max_speed = float(max_speed)
+
+    @property
+    def duration(self) -> float:
+        """``t2 - t1``."""
+        return self.t2 - self.t1
+
+    def contains(self, t: float, point: Point) -> bool:
+        """True when ``(t, point)`` is a possible space–time position."""
+        if not self.t1 <= t <= self.t2:
+            return False
+        reach_from_start = self.max_speed * (t - self.t1)
+        reach_to_end = self.max_speed * (self.t2 - t)
+        return (
+            self.p1.distance_to(point) <= reach_from_start + 1e-12
+            and self.p2.distance_to(point) <= reach_to_end + 1e-12
+        )
+
+    def projection(self) -> Ellipse:
+        """The bead's footprint on the xy-plane.
+
+        An ellipse with foci ``p1, p2``, major axis ``v (t2 - t1)``.
+        """
+        f = self.p1.distance_to(self.p2) / 2  # focal half-distance
+        a = self.max_speed * self.duration / 2  # semi-major
+        b_sq = max(a * a - f * f, 0.0)
+        angle = math.atan2(
+            float(self.p2.y) - float(self.p1.y),
+            float(self.p2.x) - float(self.p1.x),
+        )
+        return Ellipse(self.p1.midpoint(self.p2), a, math.sqrt(b_sq), angle)
+
+    def possible_at(self, t: float) -> Tuple[Point, float, Point, float]:
+        """The two disks whose intersection bounds the position at ``t``.
+
+        Returns ``(center1, radius1, center2, radius2)``: reachability from
+        the first observation and backward-reachability from the second.
+        """
+        if not self.t1 <= t <= self.t2:
+            raise TrajectoryError(f"instant {t} outside bead [{self.t1}, {self.t2}]")
+        return (
+            self.p1,
+            self.max_speed * (t - self.t1),
+            self.p2,
+            self.max_speed * (self.t2 - t),
+        )
+
+
+class Lifeline:
+    """A chain of beads over a whole trajectory sample.
+
+    Parameters
+    ----------
+    sample:
+        The observations (at least two).
+    max_speed:
+        The assumed speed bound.
+    clamp_to_feasible:
+        When True, segments whose observed average speed exceeds
+        ``max_speed`` use that observed speed instead (their bead
+        degenerates toward the straight segment) rather than raising.
+        Query evaluation uses this mode so an optimistic speed bound never
+        aborts a scan; strict construction (the default) flags the
+        inconsistent observations.
+    """
+
+    def __init__(
+        self,
+        sample: TrajectorySample,
+        max_speed: float,
+        clamp_to_feasible: bool = False,
+    ) -> None:
+        if len(sample) < 2:
+            raise TrajectoryError("a lifeline needs at least two observations")
+        points = list(sample)
+        self.beads: List[Bead] = []
+        for (t1, x1, y1), (t2, x2, y2) in zip(points, points[1:]):
+            speed = max_speed
+            if clamp_to_feasible:
+                p1, p2 = Point(x1, y1), Point(x2, y2)
+                required = p1.distance_to(p2) / (t2 - t1)
+                speed = max(max_speed, required * (1 + 1e-9))
+            self.beads.append(
+                Bead(t1, Point(x1, y1), t2, Point(x2, y2), speed)
+            )
+        self.sample = sample
+        self.max_speed = float(max_speed)
+
+    def __len__(self) -> int:
+        return len(self.beads)
+
+    def bead_at(self, t: float) -> Bead:
+        """Return the bead whose time span contains ``t``."""
+        for bead in self.beads:
+            if bead.t1 <= t <= bead.t2:
+                return bead
+        raise TrajectoryError(
+            f"instant {t} outside lifeline "
+            f"[{self.sample.start_time}, {self.sample.end_time}]"
+        )
+
+    def contains(self, t: float, point: Point) -> bool:
+        """True when the object could have been at ``point`` at time ``t``."""
+        try:
+            bead = self.bead_at(t)
+        except TrajectoryError:
+            return False
+        return bead.contains(t, point)
+
+    def could_have_visited(self, point: Point) -> bool:
+        """True when some bead's footprint covers ``point``.
+
+        The uncertainty-aware version of "passed through": a region the
+        lifeline footprint avoids was *certainly* never visited.
+        """
+        return any(
+            bead.projection().contains_point(point) for bead in self.beads
+        )
+
+    def could_have_entered(self, polygon) -> bool:
+        """True when some bead's footprint intersects ``polygon``.
+
+        The polygon analogue of :meth:`could_have_visited`: if no bead
+        footprint meets the region, the speed bound proves the object
+        never entered it between observations.
+        """
+        return any(
+            bead.projection().intersects_polygon(polygon)
+            for bead in self.beads
+        )
+
+    def footprint_area(self) -> float:
+        """Sum of the bead-footprint areas (an upper bound; beads overlap)."""
+        return sum(bead.projection().area for bead in self.beads)

@@ -1,0 +1,111 @@
+"""Trajectory-sample cleaning.
+
+Real MOFT feeds are noisy: GPS jitter, duplicated fixes, and impossible
+jumps (multipath errors).  The paper assumes clean samples; these utilities
+produce them.  All functions take and return
+:class:`~repro.mo.trajectory.TrajectorySample` (or MOFTs), never mutating
+their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TrajectoryError
+from repro.geometry.point import Point
+from repro.mo.moft import MOFT
+from repro.mo.trajectory import TrajectorySample
+
+
+def drop_stationary_noise(
+    sample: TrajectorySample, min_distance: float
+) -> TrajectorySample:
+    """Collapse consecutive fixes closer than ``min_distance``.
+
+    Keeps the first fix of every cluster (and always the final fix, so the
+    time domain is preserved).  Useful for parked vehicles emitting
+    jittering positions.
+    """
+    if min_distance < 0:
+        raise TrajectoryError("min_distance must be non-negative")
+    points = list(sample)
+    kept: List[Tuple[float, float, float]] = [points[0]]
+    for t, x, y in points[1:-1]:
+        _, kx, ky = kept[-1]
+        if Point(kx, ky).distance_to(Point(x, y)) >= min_distance:
+            kept.append((t, x, y))
+    if len(points) > 1:
+        kept.append(points[-1])
+    return TrajectorySample(kept)
+
+
+def remove_speed_outliers(
+    sample: TrajectorySample, max_speed: float
+) -> TrajectorySample:
+    """Drop fixes implying a speed above ``max_speed`` from the last kept fix.
+
+    A greedy forward pass: each fix must be reachable from the previously
+    kept fix under the speed bound, otherwise it is discarded (GPS jump).
+    The first fix is always kept.
+    """
+    if max_speed <= 0:
+        raise TrajectoryError("max_speed must be positive")
+    points = list(sample)
+    kept = [points[0]]
+    for t, x, y in points[1:]:
+        kt, kx, ky = kept[-1]
+        distance = Point(kx, ky).distance_to(Point(x, y))
+        if distance <= max_speed * (t - kt) * (1 + 1e-9):
+            kept.append((t, x, y))
+    return TrajectorySample(kept)
+
+
+def resample_uniform(
+    sample: TrajectorySample, num_points: int
+) -> TrajectorySample:
+    """Re-sample the linear interpolation at uniform instants.
+
+    Produces exactly ``num_points`` fixes covering the same time domain —
+    the normalization step before comparing trajectories of different
+    sampling rates.
+    """
+    if num_points < 2:
+        raise TrajectoryError("need at least two points")
+    if len(sample) < 2:
+        raise TrajectoryError("cannot resample a single fix")
+    from repro.mo.trajectory import LinearInterpolationTrajectory
+
+    lit = LinearInterpolationTrajectory(sample)
+    lo, hi = lit.time_domain
+    points = []
+    for i in range(num_points):
+        t = lo + (hi - lo) * i / (num_points - 1)
+        p = lit.position(t)
+        points.append((t, float(p.x), float(p.y)))
+    return TrajectorySample(points)
+
+
+def clean_moft(
+    moft: MOFT,
+    max_speed: float,
+    min_distance: float = 0.0,
+) -> MOFT:
+    """Apply outlier removal (and optional jitter collapsing) per object.
+
+    Objects reduced to a single fix keep that fix; the result is a new
+    MOFT with the same name.
+    """
+    result = MOFT(moft.name)
+    for oid in moft.objects():
+        history = moft.history(oid)
+        if len(history) == 1:
+            t, x, y = history[0]
+            result.add(oid, t, x, y)
+            continue
+        sample = TrajectorySample(history)
+        sample = remove_speed_outliers(sample, max_speed)
+        if min_distance > 0 and len(sample) > 1:
+            sample = drop_stationary_noise(sample, min_distance)
+        for t, x, y in sample:
+            result.add(oid, t, x, y)
+    return result

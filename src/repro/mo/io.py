@@ -1,0 +1,80 @@
+"""MOFT interchange: CSV import/export.
+
+Real MOFT data arrives as CSV dumps of ``(Oid, t, x, y)`` observations —
+the exact tuple format of Section 3.  These helpers read and write that
+format, with a header row, so trajectories can round-trip through files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.errors import TrajectoryError
+from repro.mo.moft import MOFT
+
+#: The canonical header of a MOFT CSV file.
+HEADER = ("oid", "t", "x", "y")
+
+
+def write_csv(moft: MOFT, destination: Union[str, Path, TextIO]) -> int:
+    """Write a MOFT as CSV; returns the number of rows written."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            return write_csv(moft, handle)
+    writer = csv.writer(destination)
+    writer.writerow(HEADER)
+    count = 0
+    for oid, t, x, y in moft.tuples():
+        writer.writerow([oid, t, x, y])
+        count += 1
+    return count
+
+
+def read_csv(
+    source: Union[str, Path, TextIO], name: str = "FM"
+) -> MOFT:
+    """Read a MOFT from CSV (header required, column order flexible)."""
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return read_csv(handle, name)
+    reader = csv.reader(source)
+    try:
+        header = [cell.strip().lower() for cell in next(reader)]
+    except StopIteration:
+        raise TrajectoryError("empty MOFT CSV") from None
+    try:
+        indices = [header.index(column) for column in HEADER]
+    except ValueError as exc:
+        raise TrajectoryError(
+            f"MOFT CSV must have columns {HEADER}, got {header}"
+        ) from exc
+    moft = MOFT(name)
+    for line_number, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        try:
+            oid = row[indices[0]]
+            t = float(row[indices[1]])
+            x = float(row[indices[2]])
+            y = float(row[indices[3]])
+        except (IndexError, ValueError) as exc:
+            raise TrajectoryError(
+                f"malformed MOFT CSV row {line_number}: {row!r}"
+            ) from exc
+        moft.add(oid, t, x, y)
+    return moft
+
+
+def to_csv_text(moft: MOFT) -> str:
+    """Return the CSV serialization as a string."""
+    buffer = io.StringIO()
+    write_csv(moft, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_text(text: str, name: str = "FM") -> MOFT:
+    """Parse a CSV string into a MOFT."""
+    return read_csv(io.StringIO(text), name)

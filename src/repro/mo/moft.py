@@ -1,0 +1,182 @@
+"""The Moving Object Fact Table (MOFT) — Section 3 of the paper.
+
+"A distinguished Moving Object Fact Table (MOFT), that contains tuples of
+the form ``(Oid, t, x, y)``, where ``Oid`` is the identifier of the moving
+object, ``t`` is a time instant, and ``(x, y)`` are the coordinates of the
+object ``Oid`` at instant ``t``."
+
+The table enforces the physical invariant that an object occupies at most
+one position per instant, offers row access for the logical operators and a
+columnar NumPy view for bulk scans, and converts per-object histories into
+:class:`~repro.mo.trajectory.TrajectorySample` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import TrajectoryError
+from repro.geometry.point import BoundingBox, Point
+from repro.mo.trajectory import TrajectorySample
+
+
+class MOFT:
+    """An in-memory moving-object fact table."""
+
+    def __init__(self, name: str = "FM") -> None:
+        self.name = name
+        self._oids: List[Hashable] = []
+        self._ts: List[float] = []
+        self._xs: List[float] = []
+        self._ys: List[float] = []
+        self._seen: Set[Tuple[Hashable, float]] = set()
+        self._by_object: Dict[Hashable, List[int]] = {}
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def __repr__(self) -> str:
+        return (
+            f"MOFT({self.name!r}, samples={len(self)}, "
+            f"objects={len(self._by_object)})"
+        )
+
+    # -- loading ---------------------------------------------------------------
+
+    def add(self, oid: Hashable, t: float, x: float, y: float) -> None:
+        """Append one sample; ``(oid, t)`` pairs must be unique."""
+        key = (oid, t)
+        if key in self._seen:
+            raise TrajectoryError(
+                f"object {oid!r} already has a sample at t={t} "
+                f"(an object is at one point at a given instant)"
+            )
+        self._seen.add(key)
+        index = len(self._ts)
+        self._oids.append(oid)
+        self._ts.append(float(t))
+        self._xs.append(float(x))
+        self._ys.append(float(y))
+        self._by_object.setdefault(oid, []).append(index)
+        self._arrays = None
+
+    def add_many(
+        self, samples: Iterable[Tuple[Hashable, float, float, float]]
+    ) -> None:
+        """Append many ``(oid, t, x, y)`` tuples."""
+        for oid, t, x, y in samples:
+            self.add(oid, t, x, y)
+
+    # -- row access ----------------------------------------------------------------
+
+    def rows(self) -> Iterator[Dict[str, Hashable]]:
+        """Iterate samples as ``{'oid', 't', 'x', 'y'}`` dictionaries."""
+        for i in range(len(self._ts)):
+            yield {
+                "oid": self._oids[i],
+                "t": self._ts[i],
+                "x": self._xs[i],
+                "y": self._ys[i],
+            }
+
+    def tuples(self) -> Iterator[Tuple[Hashable, float, float, float]]:
+        """Iterate samples as plain ``(oid, t, x, y)`` tuples."""
+        for i in range(len(self._ts)):
+            yield (self._oids[i], self._ts[i], self._xs[i], self._ys[i])
+
+    def objects(self) -> Set[Hashable]:
+        """All distinct object identifiers."""
+        return set(self._by_object)
+
+    def instants(self) -> Set[float]:
+        """All distinct sampling instants."""
+        return set(self._ts)
+
+    def sample_count(self, oid: Hashable) -> int:
+        """Number of samples of one object (0 for unknown objects)."""
+        return len(self._by_object.get(oid, ()))
+
+    # -- columnar access --------------------------------------------------------------
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(t, x, y)`` as float arrays in insertion order.
+
+        Built lazily and cached until the next :meth:`add`.  Object ids are
+        not included (they may be arbitrary hashables); use
+        :meth:`object_mask` to slice by object.
+        """
+        if self._arrays is None:
+            self._arrays = (
+                np.asarray(self._ts, dtype=float),
+                np.asarray(self._xs, dtype=float),
+                np.asarray(self._ys, dtype=float),
+            )
+        return self._arrays
+
+    def object_mask(self, oid: Hashable) -> np.ndarray:
+        """Boolean mask over rows selecting one object's samples."""
+        mask = np.zeros(len(self._ts), dtype=bool)
+        mask[self._by_object.get(oid, [])] = True
+        return mask
+
+    # -- per-object histories ------------------------------------------------------------
+
+    def history(self, oid: Hashable) -> List[Tuple[float, float, float]]:
+        """Return one object's ``(t, x, y)`` samples sorted by time."""
+        indices = self._by_object.get(oid)
+        if not indices:
+            raise TrajectoryError(f"no samples for object {oid!r}")
+        return sorted(
+            (self._ts[i], self._xs[i], self._ys[i]) for i in indices
+        )
+
+    def trajectory_sample(self, oid: Hashable) -> TrajectorySample:
+        """Return one object's history as a :class:`TrajectorySample`."""
+        return TrajectorySample(self.history(oid))
+
+    def position(self, oid: Hashable, t: float) -> Optional[Point]:
+        """Return the *sampled* position of an object at an instant, if any."""
+        for st, x, y in self.history(oid):
+            if st == t:
+                return Point(x, y)
+        return None
+
+    # -- restriction -----------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Dict[str, Hashable]], bool]) -> "MOFT":
+        """Return a new MOFT with the rows satisfying a row predicate."""
+        result = MOFT(self.name)
+        for row in self.rows():
+            if predicate(row):
+                result.add(row["oid"], row["t"], row["x"], row["y"])
+        return result
+
+    def restrict_instants(self, instants: Set[float]) -> "MOFT":
+        """Keep the samples whose instant is in ``instants``.
+
+        This is the paper's ``FM_morning`` construction: the sub-fact-table
+        of samples taken at instants rolling up to a temporal member.
+        """
+        wanted = {float(t) for t in instants}
+        return self.filter(lambda row: row["t"] in wanted)
+
+    def restrict_objects(self, oids: Set[Hashable]) -> "MOFT":
+        """Keep the samples of the given objects."""
+        return self.filter(lambda row: row["oid"] in oids)
+
+    def time_range(self) -> Tuple[float, float]:
+        """Return ``(min t, max t)`` over all samples."""
+        if not self._ts:
+            raise TrajectoryError(f"MOFT {self.name!r} is empty")
+        return (min(self._ts), max(self._ts))
+
+    def bbox(self) -> BoundingBox:
+        """Spatial bounding box over all sampled positions."""
+        if not self._ts:
+            raise TrajectoryError(f"MOFT {self.name!r} is empty")
+        return BoundingBox(
+            min(self._xs), min(self._ys), max(self._xs), max(self._ys)
+        )

@@ -1,0 +1,142 @@
+"""Moving regions — the sliced representation the paper defers to [16].
+
+Section 1.2: "We do not address here the problem of moving regions, i.e.,
+we consider regions as fixed over time", pointing to Tøssebro & Güting
+(SSTD 2001), where moving regions are built "starting from snapshots of an
+amorphous region taken at different points in time.  Interpolation of the
+snapshots of the geometries yields so-called slices."
+
+:class:`MovingRegion` implements exactly that: a strictly time-ordered
+sequence of polygon snapshots; between consecutive snapshots the region is
+the linear interpolation of corresponding shell vertices (a *slice*).
+Snapshots with differing vertex counts are reconciled by resampling both
+rings to a common count along their boundary, the standard practical
+construction.  This extends the paper's model: a Type-4/7 query against a
+moving region asks for containment at the *sample's own instant*.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+from repro.errors import TrajectoryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.mo.moft import MOFT
+
+
+def _ring_resampled(polygon: Polygon, count: int) -> List[Point]:
+    """Resample a polygon shell to ``count`` vertices along its boundary.
+
+    Rings are normalized to counter-clockwise orientation first so that
+    corresponding vertices of two snapshots travel the boundary the same
+    way; vertex correspondence follows arc length from each ring's first
+    vertex, so snapshots should be authored with consistent start vertices.
+    """
+    shell = list(polygon.shell)
+    if polygon.signed_area < 0:
+        shell = [shell[0]] + list(reversed(shell[1:]))
+    ring = shell + [shell[0]]
+    boundary = Polyline(ring)
+    total = boundary.length
+    return [
+        boundary.point_at_distance(total * i / count) for i in range(count)
+    ]
+
+
+class MovingRegion:
+    """A region changing over time, as interpolated polygon snapshots.
+
+    Parameters
+    ----------
+    snapshots:
+        ``(t, polygon)`` pairs with strictly increasing instants; at least
+        one required.  Holes are not supported (the sliced representation
+        interpolates simple shells).
+    """
+
+    def __init__(self, snapshots: Sequence[Tuple[float, Polygon]]) -> None:
+        items = sorted(snapshots, key=lambda item: item[0])
+        if not items:
+            raise TrajectoryError("a moving region needs at least one snapshot")
+        for (t0, _), (t1, _) in zip(items, items[1:]):
+            if not t0 < t1:
+                raise TrajectoryError(
+                    f"snapshot instants must be strictly increasing; got "
+                    f"{t0} then {t1}"
+                )
+        for t, polygon in items:
+            if polygon.holes:
+                raise TrajectoryError(
+                    "moving regions interpolate simple shells; holes are "
+                    "not supported"
+                )
+        self._times = [float(t) for t, _ in items]
+        self._polygons = [polygon for _, polygon in items]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def time_domain(self) -> Tuple[float, float]:
+        """``[first snapshot instant, last snapshot instant]``."""
+        return (self._times[0], self._times[-1])
+
+    def covers(self, t: float) -> bool:
+        """True when ``t`` lies within the snapshot span."""
+        return self._times[0] <= t <= self._times[-1]
+
+    def snapshot_times(self) -> List[float]:
+        """The snapshot instants."""
+        return list(self._times)
+
+    def polygon_at(self, t: float) -> Polygon:
+        """Return the interpolated region at an instant of the domain.
+
+        At snapshot instants the stored polygon is returned exactly; inside
+        a slice, corresponding resampled shell vertices are interpolated
+        linearly (the [16] construction).
+        """
+        if not self.covers(t):
+            raise TrajectoryError(
+                f"instant {t} outside time domain {self.time_domain}"
+            )
+        index = bisect.bisect_right(self._times, t) - 1
+        if self._times[index] == t or index == len(self._times) - 1:
+            return self._polygons[index]
+        t0, t1 = self._times[index], self._times[index + 1]
+        a, b = self._polygons[index], self._polygons[index + 1]
+        count = max(len(a.shell), len(b.shell), 8)
+        ring_a = _ring_resampled(a, count)
+        ring_b = _ring_resampled(b, count)
+        w = (t - t0) / (t1 - t0)
+        blended = [
+            Point(
+                float(pa.x) + w * (float(pb.x) - float(pa.x)),
+                float(pa.y) + w * (float(pb.y) - float(pa.y)),
+            )
+            for pa, pb in zip(ring_a, ring_b)
+        ]
+        return Polygon(blended)
+
+    def area_at(self, t: float) -> float:
+        """Area of the region at an instant."""
+        return self.polygon_at(t).area
+
+    def contains(self, t: float, point: Point) -> bool:
+        """Closed containment at an instant of the domain."""
+        return self.polygon_at(t).contains_point(point)
+
+    def samples_inside(self, moft: MOFT) -> List[Tuple[object, float]]:
+        """``(Oid, t)`` pairs whose sample lies in the region *at its own
+        instant* — the moving-region analogue of the paper's region C.
+
+        Samples outside the region's time domain never match.
+        """
+        matches: List[Tuple[object, float]] = []
+        for oid, t, x, y in moft.tuples():
+            if self.covers(t) and self.contains(t, Point(x, y)):
+                matches.append((oid, t))
+        return matches

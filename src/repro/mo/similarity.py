@@ -1,0 +1,115 @@
+"""Trajectory similarity measures.
+
+Meratnia & de By (Section 2 of the paper) "identify similar trajectories
+and merge them in a single one"; :mod:`repro.mo.flow` does the merging,
+this module does the identifying.  Two classical measures over sampled
+trajectories:
+
+* **discrete Fréchet distance** — the minimal leash length for two walkers
+  traversing the two point sequences monotonically (order-aware);
+* **Hausdorff distance** — the largest distance from a point of one
+  sequence to the nearest point of the other (order-blind).
+
+Both operate on the *spatial* sequences; to compare trajectories with
+different sampling rates, normalize first with
+:func:`repro.mo.cleaning.resample_uniform`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.errors import TrajectoryError
+from repro.geometry.point import Point
+from repro.mo.moft import MOFT
+from repro.mo.trajectory import TrajectorySample
+
+
+def discrete_frechet(
+    a: Sequence[Point], b: Sequence[Point]
+) -> float:
+    """Discrete Fréchet distance between two point sequences.
+
+    Dynamic program over the coupling lattice; O(len(a)·len(b)).
+    """
+    if not a or not b:
+        raise TrajectoryError("Fréchet distance needs non-empty sequences")
+    n, m = len(a), len(b)
+    previous: List[float] = [0.0] * m
+    for i in range(n):
+        current = [0.0] * m
+        for j in range(m):
+            d = a[i].distance_to(b[j])
+            if i == 0 and j == 0:
+                reach = d
+            elif i == 0:
+                reach = max(current[j - 1], d)
+            elif j == 0:
+                reach = max(previous[j], d)
+            else:
+                reach = max(
+                    min(previous[j], previous[j - 1], current[j - 1]), d
+                )
+            current[j] = reach
+        previous = current
+    return previous[m - 1]
+
+
+def hausdorff(a: Sequence[Point], b: Sequence[Point]) -> float:
+    """Symmetric Hausdorff distance between two point sets."""
+    if not a or not b:
+        raise TrajectoryError("Hausdorff distance needs non-empty sequences")
+
+    def directed(src: Sequence[Point], dst: Sequence[Point]) -> float:
+        return max(min(p.distance_to(q) for q in dst) for p in src)
+
+    return max(directed(a, b), directed(b, a))
+
+
+def sample_frechet(a: TrajectorySample, b: TrajectorySample) -> float:
+    """Discrete Fréchet distance between two trajectory samples."""
+    return discrete_frechet(a.positions, b.positions)
+
+
+def sample_hausdorff(a: TrajectorySample, b: TrajectorySample) -> float:
+    """Hausdorff distance between two trajectory samples."""
+    return hausdorff(a.positions, b.positions)
+
+
+def similarity_matrix(
+    moft: MOFT, measure: str = "frechet"
+) -> Dict[Tuple[Hashable, Hashable], float]:
+    """Pairwise distances between every two objects of a MOFT.
+
+    Returns ``{(oid_a, oid_b): distance}`` for ``oid_a < oid_b`` (by repr
+    order).  ``measure`` is ``"frechet"`` or ``"hausdorff"``.
+    """
+    if measure == "frechet":
+        fn = discrete_frechet
+    elif measure == "hausdorff":
+        fn = hausdorff
+    else:
+        raise TrajectoryError(
+            f"unknown measure {measure!r}; expected 'frechet' or 'hausdorff'"
+        )
+    oids = sorted(moft.objects(), key=repr)
+    positions = {
+        oid: [Point(x, y) for _, x, y in moft.history(oid)] for oid in oids
+    }
+    result: Dict[Tuple[Hashable, Hashable], float] = {}
+    for i, oid_a in enumerate(oids):
+        for oid_b in oids[i + 1 :]:
+            result[(oid_a, oid_b)] = fn(positions[oid_a], positions[oid_b])
+    return result
+
+
+def most_similar_pair(
+    moft: MOFT, measure: str = "frechet"
+) -> Tuple[Hashable, Hashable, float]:
+    """The closest pair of objects under the chosen measure."""
+    matrix = similarity_matrix(moft, measure)
+    if not matrix:
+        raise TrajectoryError("need at least two objects")
+    (oid_a, oid_b), distance = min(matrix.items(), key=lambda kv: kv[1])
+    return (oid_a, oid_b, distance)

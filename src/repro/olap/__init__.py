@@ -1,0 +1,40 @@
+"""Classical OLAP substrate: dimensions, fact tables, γ-aggregation, cubes.
+
+Implements the application part of the paper's model — Hurtado–Mendelzon–
+Vaisman dimensions with rollup functions, fact tables over them, the
+aggregate operation of Definition 7 and a data-cube view.
+"""
+
+from repro.olap.dimension import (
+    ALL_LEVEL,
+    ALL_MEMBER,
+    DimensionInstance,
+    DimensionSchema,
+)
+from repro.olap.aggregation import (
+    AggregateFunction,
+    aggregate,
+    aggregate_single,
+    distinct_count,
+)
+from repro.olap.facttable import (
+    DimensionAttribute,
+    FactTable,
+    FactTableSchema,
+)
+from repro.olap.cube import Cube
+
+__all__ = [
+    "ALL_LEVEL",
+    "ALL_MEMBER",
+    "DimensionInstance",
+    "DimensionSchema",
+    "AggregateFunction",
+    "aggregate",
+    "aggregate_single",
+    "distinct_count",
+    "DimensionAttribute",
+    "FactTable",
+    "FactTableSchema",
+    "Cube",
+]

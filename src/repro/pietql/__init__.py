@@ -1,0 +1,25 @@
+"""Piet-QL: the query language of the Piet implementation (Section 5)."""
+
+from repro.pietql import ast
+from repro.pietql.lexer import Token, TokenType, tokenize
+from repro.pietql.parser import parse
+from repro.pietql.executor import (
+    LayerBinding,
+    PietQLExecutor,
+    PietQLResult,
+    run,
+)
+from repro.pietql.format import format_query
+
+__all__ = [
+    "ast",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+    "LayerBinding",
+    "PietQLExecutor",
+    "PietQLResult",
+    "run",
+    "format_query",
+]

@@ -1,0 +1,165 @@
+"""Abstract syntax of Piet-QL queries.
+
+A query has a **geometric part** and an optional **moving-objects part**
+after a pipe, following the structure of Section 5::
+
+    SELECT layer.cities, layer.rivers, layer.stores
+    FROM CitySchema
+    WHERE intersection(layer.rivers, layer.cities, sublevel.polyline)
+      AND contains(layer.cities, layer.stores, sublevel.node)
+    | COUNT OBJECTS FROM FM THROUGH RESULT DURING timeOfDay = 'Morning'
+
+The first ``layer.<name>`` in the SELECT list is the *target*: the
+geometric part evaluates to the ids of its elements that satisfy all WHERE
+conditions.  The moving-objects part aggregates a MOFT, optionally
+restricted to objects whose trajectories pass ``THROUGH RESULT`` (the
+target ids) and to instants matching ``DURING`` rollup constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import PietQLError
+
+#: Geometric predicates accepted in WHERE conditions (paper: intersection,
+#: CONTAINS; ``within`` is the natural converse).
+GEO_PREDICATES = ("intersection", "contains", "within")
+
+
+@dataclass(frozen=True)
+class LayerRef:
+    """A ``layer.<name>`` reference; the name is resolved by the executor."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"layer.{self.name}"
+
+
+@dataclass(frozen=True)
+class GeoCondition:
+    """One WHERE condition: ``predicate(left, right [, sublevel.kind])``.
+
+    The optional sublevel names the geometry kind at which the relation is
+    evaluated (the paper's ``subplevel.Linestring`` / ``subplevel.Point``);
+    it applies to the non-target operand and overrides binding inference.
+    """
+
+    predicate: str
+    left: LayerRef
+    right: LayerRef
+    sublevel: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.predicate not in GEO_PREDICATES:
+            raise PietQLError(
+                f"unknown geometric predicate {self.predicate!r}; expected "
+                f"one of {GEO_PREDICATES}"
+            )
+
+    def involves(self, ref: LayerRef) -> bool:
+        """True when either operand is the given layer reference."""
+        return self.left == ref or self.right == ref
+
+
+@dataclass(frozen=True)
+class GeometricQuery:
+    """The geometric part: target + auxiliary layers + conditions."""
+
+    select: Tuple[LayerRef, ...]
+    schema_name: str
+    conditions: Tuple[GeoCondition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.select:
+            raise PietQLError("SELECT needs at least one layer reference")
+        self.target  # validates
+
+    @property
+    def target(self) -> LayerRef:
+        """The layer whose element ids the geometric part returns.
+
+        The paper's example selects rivers, cities and stores but "returns
+        the identifiers of the geometric objects (in this case, the
+        cities)": the target is the selected layer that every WHERE
+        condition involves.  Without conditions it is the first selected
+        layer; with conditions that share no selected layer the query is
+        rejected.
+        """
+        if not self.conditions:
+            return self.select[0]
+        for ref in self.select:
+            if all(condition.involves(ref) for condition in self.conditions):
+                return ref
+        raise PietQLError(
+            "no selected layer is involved in every WHERE condition; "
+            "cannot determine the query target"
+        )
+
+
+@dataclass(frozen=True)
+class DuringClause:
+    """A temporal restriction: ``DURING <level> = <member>``."""
+
+    level: str
+    member: str
+
+
+@dataclass(frozen=True)
+class MovingObjectQuery:
+    """The moving-objects part after the pipe.
+
+    ``COUNT OBJECTS`` counts distinct object ids; ``COUNT SAMPLES`` counts
+    MOFT rows.  ``THROUGH RESULT`` keeps only objects whose interpolated
+    trajectories intersect the geometric result; ``DURING`` clauses
+    restrict the instants considered.
+    """
+
+    count_what: str  # "OBJECTS" | "SAMPLES"
+    moft_name: str
+    through_result: bool = False
+    during: Tuple[DuringClause, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.count_what not in ("OBJECTS", "SAMPLES"):
+            raise PietQLError(
+                f"COUNT expects OBJECTS or SAMPLES, got {self.count_what!r}"
+            )
+
+
+#: Aggregate function names accepted in the OLAP part.
+OLAP_FUNCTIONS = ("sum", "min", "max", "avg", "count")
+
+
+@dataclass(frozen=True)
+class OlapQuery:
+    """The OLAP part: aggregate application-part values of the result.
+
+    ``AGGREGATE SUM(population) BY city`` folds the named member value of
+    every application member whose geometry is in the geometric result,
+    grouped by their rollup at ``by_level`` in the member's application
+    dimension.  This stands in for the MDX dialect of the original Piet
+    (substitution documented in DESIGN.md).
+    """
+
+    function: str
+    value_name: str
+    by_level: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.function not in OLAP_FUNCTIONS:
+            raise PietQLError(
+                f"unknown aggregate {self.function!r}; expected one of "
+                f"{OLAP_FUNCTIONS}"
+            )
+
+
+@dataclass(frozen=True)
+class PietQLQuery:
+    """A complete parsed query: geometric [| olap] [| moving objects]."""
+
+    geometric: GeometricQuery
+    moving_objects: Optional[MovingObjectQuery] = None
+    olap: Optional[OlapQuery] = None

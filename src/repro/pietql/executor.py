@@ -1,0 +1,264 @@
+"""Execution of parsed Piet-QL queries.
+
+The geometric part evaluates to the ids of the target layer's elements
+satisfying every WHERE condition — answered against the precomputed
+overlay (or naive scans, per the context's strategy).  The moving-objects
+part then restricts a MOFT by ``DURING`` rollups and, with ``THROUGH
+RESULT``, by trajectory intersection against the answer geometries —
+exactly the two-stage pipeline of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
+
+from repro.errors import PietQLExecutionError
+from repro.pietql import ast
+from repro.pietql.parser import parse
+from repro.query.evaluator import TrajectoryIntersectionCounter
+from repro.query.region import EvaluationContext
+
+
+@dataclass(frozen=True)
+class LayerBinding:
+    """Resolution of a Piet-QL layer name to a GIS (layer, kind)."""
+
+    layer: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class PietQLResult:
+    """The outcome of executing a query."""
+
+    geometry_ids: frozenset
+    count: Optional[float] = None
+    matched_objects: Optional[frozenset] = None
+    olap_result: Optional[Mapping[Hashable, float]] = None
+
+
+class PietQLExecutor:
+    """Executes Piet-QL queries against an evaluation context.
+
+    Parameters
+    ----------
+    context:
+        GIS + Time + MOFTs, with the overlay strategy flag.
+    bindings:
+        Mapping from the language's layer names (``layer.cities``) to GIS
+        ``(layer, kind)`` pairs.  Names not bound explicitly are resolved
+        against the GIS directly when a layer of that name has exactly one
+        populated kind.
+    """
+
+    def __init__(
+        self,
+        context: EvaluationContext,
+        bindings: Mapping[str, LayerBinding] | None = None,
+    ) -> None:
+        self.context = context
+        self.bindings: Dict[str, LayerBinding] = dict(bindings or {})
+
+    # -- binding resolution ------------------------------------------------------
+
+    def resolve(
+        self, ref: ast.LayerRef, sublevel: Optional[str] = None
+    ) -> LayerBinding:
+        """Resolve a layer reference, honoring an explicit sublevel kind."""
+        if ref.name in self.bindings:
+            binding = self.bindings[ref.name]
+            if sublevel is not None and sublevel != binding.kind:
+                return LayerBinding(binding.layer, sublevel)
+            return binding
+        try:
+            layer = self.context.gis.layer(ref.name)
+        except Exception:
+            raise PietQLExecutionError(
+                f"unknown layer {ref.name!r}: bind it or use a GIS layer name"
+            ) from None
+        kinds = sorted(layer.kinds())
+        if sublevel is not None:
+            if sublevel not in kinds:
+                raise PietQLExecutionError(
+                    f"layer {ref.name!r} has no elements of kind {sublevel!r}"
+                )
+            return LayerBinding(ref.name, sublevel)
+        if len(kinds) != 1:
+            raise PietQLExecutionError(
+                f"layer {ref.name!r} stores kinds {kinds}; "
+                f"disambiguate with sublevel.<kind> or a binding"
+            )
+        return LayerBinding(ref.name, kinds[0])
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, query: "ast.PietQLQuery | str") -> PietQLResult:
+        """Execute a parsed query (or Piet-QL text)."""
+        if isinstance(query, str):
+            query = parse(query)
+        geometry_ids = self.execute_geometric(query.geometric)
+        olap_result = None
+        if query.olap is not None:
+            olap_result = self._execute_olap(
+                query.olap, query.geometric, geometry_ids
+            )
+        if query.moving_objects is None:
+            return PietQLResult(
+                frozenset(geometry_ids), olap_result=olap_result
+            )
+        count, matched = self._execute_moving(
+            query.moving_objects, query.geometric, geometry_ids
+        )
+        return PietQLResult(
+            frozenset(geometry_ids), count, frozenset(matched), olap_result
+        )
+
+    def _execute_olap(
+        self,
+        olap: "ast.OlapQuery",
+        geo: "ast.GeometricQuery",
+        geometry_ids: Set[Hashable],
+    ) -> Dict[Hashable, float]:
+        """Aggregate application-part values of the result members.
+
+        The target's (layer, kind) determines the application attribute
+        through the schema placements; result ids map to members via
+        α-inverse, member values named ``olap.value_name`` are folded with
+        the aggregate function, grouped by the ``BY`` level's rollup when
+        present (the group key is the rolled-up member; ungrouped results
+        use the single key ``"all"``).
+        """
+        from repro.olap.aggregation import AggregateFunction
+
+        binding = self.resolve(geo.target)
+        schema = self.context.gis.schema
+        attribute = None
+        for candidate in schema.attributes:
+            placement = schema.placement(candidate)
+            if (placement.layer, placement.kind) == (
+                binding.layer,
+                binding.kind,
+            ):
+                attribute = candidate
+                break
+        if attribute is None:
+            raise PietQLExecutionError(
+                f"no application attribute is placed on "
+                f"{binding.layer}:{binding.kind}; cannot aggregate"
+            )
+        members = []
+        for gid in geometry_ids:
+            members.extend(self.context.gis.alpha_inverse(attribute, gid))
+        if not members:
+            return {}
+        groups: Dict[Hashable, list] = {}
+        dimension = schema.dimension_for_attribute(attribute)
+        for member in members:
+            value = self.context.gis.member_value(
+                attribute, member, olap.value_name
+            )
+            if olap.by_level is None:
+                key: Hashable = "all"
+            else:
+                if dimension is None:
+                    raise PietQLExecutionError(
+                        f"attribute {attribute!r} has no application "
+                        f"dimension; cannot roll up to {olap.by_level!r}"
+                    )
+                instance = self.context.gis.application_instance(
+                    dimension.name
+                )
+                key = instance.rollup(member, attribute, olap.by_level)
+            groups.setdefault(key, []).append(value)
+        function = AggregateFunction.parse(olap.function)
+        return {key: function.apply(values) for key, values in groups.items()}
+
+    def execute_geometric(self, geo: ast.GeometricQuery) -> Set[Hashable]:
+        """Evaluate the geometric part to target-element ids."""
+        target_ref = geo.target
+        result: Optional[Set[Hashable]] = None
+        for condition in geo.conditions:
+            ids = self._condition_ids(condition, target_ref)
+            result = ids if result is None else result & ids
+            if not result:
+                return set()
+        if result is None:
+            binding = self.resolve(target_ref)
+            return set(
+                self.context.gis.layer(binding.layer).elements(binding.kind)
+            )
+        return result
+
+    def _condition_ids(
+        self, condition: ast.GeoCondition, target_ref: ast.LayerRef
+    ) -> Set[Hashable]:
+        """Target ids satisfying one condition (other operand existential)."""
+        if condition.left == target_ref:
+            other_ref, target_is_left = condition.right, True
+        else:
+            other_ref, target_is_left = condition.left, False
+        target = self.resolve(target_ref)
+        other = self.resolve(other_ref, condition.sublevel)
+        predicate = condition.predicate
+        if predicate == "intersection":
+            predicate = "intersects"
+        if target_is_left:
+            pairs = self.context.geometry_pairs(
+                target.layer, target.kind, predicate, other.layer, other.kind
+            )
+            return {a for a, _ in pairs}
+        pairs = self.context.geometry_pairs(
+            other.layer, other.kind, predicate, target.layer, target.kind
+        )
+        return {b for _, b in pairs}
+
+    def _execute_moving(
+        self,
+        mo: ast.MovingObjectQuery,
+        geo: ast.GeometricQuery,
+        geometry_ids: Set[Hashable],
+    ) -> Tuple[float, Set[Hashable]]:
+        moft = self.context.moft(mo.moft_name)
+        for clause in mo.during:
+            member: Hashable = clause.member
+            instants = self.context.time.instants_where(clause.level, member)
+            if not instants and clause.member.replace(".", "", 1).isdigit():
+                # Numeric members may be stored as numbers.
+                instants = self.context.time.instants_where(
+                    clause.level, float(clause.member)
+                ) | self.context.time.instants_where(
+                    clause.level, int(float(clause.member))
+                )
+            moft = moft.restrict_instants({float(t) for t in instants})
+        if mo.through_result:
+            if not geometry_ids:
+                return 0.0, set()
+            binding = self.resolve(geo.target)
+            elements = self.context.gis.layer(binding.layer).elements(
+                binding.kind
+            )
+            counter = TrajectoryIntersectionCounter(
+                {gid: elements[gid] for gid in geometry_ids}
+            )
+            if len(moft) == 0:
+                return 0.0, set()
+            matched = counter.matching_objects(moft)
+        else:
+            matched = moft.objects()
+        if mo.count_what == "OBJECTS":
+            return float(len(matched)), matched
+        if mo.through_result:
+            samples = sum(moft.sample_count(oid) for oid in matched)
+        else:
+            samples = len(moft)
+        return float(samples), matched
+
+
+def run(
+    text: str,
+    context: EvaluationContext,
+    bindings: Mapping[str, LayerBinding] | None = None,
+) -> PietQLResult:
+    """Parse and execute Piet-QL text in one call."""
+    return PietQLExecutor(context, bindings).execute(text)

@@ -1,0 +1,68 @@
+"""Formatting parsed Piet-QL back to canonical text.
+
+``format_query(parse(text))`` normalizes whitespace and keyword case; the
+formatter and parser are mutually inverse (``parse(format_query(q)) == q``
+for canonical queries), which the round-trip property tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.pietql import ast
+
+
+def format_layer_ref(ref: ast.LayerRef) -> str:
+    """Render a layer reference."""
+    return f"layer.{ref.name}"
+
+
+def format_condition(condition: ast.GeoCondition) -> str:
+    """Render one WHERE condition (prefix form)."""
+    parts = [
+        format_layer_ref(condition.left),
+        format_layer_ref(condition.right),
+    ]
+    if condition.sublevel is not None:
+        parts.append(f"sublevel.{condition.sublevel}")
+    return f"{condition.predicate}({', '.join(parts)})"
+
+
+def format_geometric(geo: ast.GeometricQuery) -> str:
+    """Render the geometric part."""
+    text = (
+        "SELECT "
+        + ", ".join(format_layer_ref(ref) for ref in geo.select)
+        + f" FROM {geo.schema_name}"
+    )
+    if geo.conditions:
+        text += " WHERE " + " AND ".join(
+            format_condition(c) for c in geo.conditions
+        )
+    return text
+
+
+def format_olap(olap: ast.OlapQuery) -> str:
+    """Render the OLAP part."""
+    text = f"AGGREGATE {olap.function}({olap.value_name})"
+    if olap.by_level is not None:
+        text += f" BY {olap.by_level}"
+    return text
+
+
+def format_moving(mo: ast.MovingObjectQuery) -> str:
+    """Render the moving-objects part."""
+    text = f"COUNT {mo.count_what} FROM {mo.moft_name}"
+    if mo.through_result:
+        text += " THROUGH RESULT"
+    for clause in mo.during:
+        text += f" DURING {clause.level} = '{clause.member}'"
+    return text
+
+
+def format_query(query: ast.PietQLQuery) -> str:
+    """Render a full query in canonical one-line form."""
+    parts = [format_geometric(query.geometric)]
+    if query.olap is not None:
+        parts.append(format_olap(query.olap))
+    if query.moving_objects is not None:
+        parts.append(format_moving(query.moving_objects))
+    return " | ".join(parts)

@@ -1,0 +1,155 @@
+"""Tokenizer for Piet-QL.
+
+Piet-QL (Section 5) is the query language of the Piet implementation: a
+geometric part (SQL-like, with layer references and geometric predicates),
+then — separated by a pipe — an aggregation part over moving objects.
+The token set is small: keywords, identifiers, dotted references,
+punctuation, numbers and quoted strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import PietQLSyntaxError
+
+#: Keywords, uppercased.  ``layer`` and ``sublevel`` are reference prefixes.
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "COUNT",
+    "OBJECTS",
+    "SAMPLES",
+    "DISTINCT",
+    "THROUGH",
+    "RESULT",
+    "DURING",
+    "LAYER",
+    "SUBLEVEL",
+    "AGGREGATE",
+    "BY",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    DOT = "."
+    COMMA = ","
+    SEMICOLON = ";"
+    PIPE = "|"
+    LPAREN = "("
+    RPAREN = ")"
+    EQUALS = "="
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+
+_PUNCT = {
+    ".": TokenType.DOT,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    "|": TokenType.PIPE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "=": TokenType.EQUALS,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize Piet-QL text; raises :class:`PietQLSyntaxError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    column = 0
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 0
+            i += 1
+            continue
+        if ch.isspace():
+            column += 1
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, line, column))
+            column += 1
+            i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    raise PietQLSyntaxError(
+                        "unterminated string literal", line, column
+                    )
+                j += 1
+            if j >= n:
+                raise PietQLSyntaxError(
+                    "unterminated string literal", line, column
+                )
+            tokens.append(
+                Token(TokenType.STRING, text[i + 1 : j], line, column)
+            )
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i + 1
+            seen_dot = False
+            while j < n and (
+                text[j].isdigit() or (text[j] == "." and not seen_dot)
+            ):
+                if text[j] == ".":
+                    # A dot not followed by a digit belongs to a reference.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, line, column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, column))
+            column += j - i
+            i = j
+            continue
+        raise PietQLSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

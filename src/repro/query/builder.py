@@ -1,0 +1,409 @@
+"""A fluent builder for the paper's query patterns.
+
+Section 4's example queries all share a shape: bind MOFT samples, constrain
+the instant through Time rollups, constrain the position through the
+geometry and the application part, project to ``(Oid, t, …)`` and
+aggregate.  :class:`RegionBuilder` composes that shape without writing AST
+nodes by hand::
+
+    region = (
+        RegionBuilder()
+        .from_moft("FM")
+        .during("timeOfDay", "Morning")
+        .in_attribute_polygon("neighborhood", value_filter=("income", "<", 1500))
+        .build()
+    )
+
+The builder produces an ordinary :class:`SpatioTemporalRegion`, so built
+queries interoperate with hand-written formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.query import ast
+from repro.query.aggregate import AggregateSpec, MovingObjectAggregateQuery
+from repro.query.region import SpatioTemporalRegion
+
+
+class RegionBuilder:
+    """Accumulates conjuncts over the canonical variables ``oid, t, x, y``."""
+
+    def __init__(self) -> None:
+        self._conjuncts: List[ast.Formula] = []
+        self._outputs: Tuple[str, ...] = ("oid", "t")
+        self._has_moft = False
+        self._fresh = itertools.count()
+        self.oid = ast.Var("oid")
+        self.t = ast.Var("t")
+        self.x = ast.Var("x")
+        self.y = ast.Var("y")
+
+    def _gensym(self, prefix: str) -> ast.Var:
+        return ast.Var(f"{prefix}{next(self._fresh)}")
+
+    # -- sources --------------------------------------------------------------
+
+    def from_moft(
+        self, moft_name: str = "FM", at_instant: Optional[float] = None
+    ) -> "RegionBuilder":
+        """Bind ``(oid, t, x, y)`` to MOFT rows.
+
+        ``at_instant`` fixes the instant (Type-6 queries: "how many cars at
+        9:15 on Jan 7"); the ``t`` output column then carries the constant.
+        """
+        t_term: "ast.Var | ast.Const" = self.t
+        if at_instant is not None:
+            t_term = ast.Const(float(at_instant))
+        self._conjuncts.append(
+            ast.Moft(self.oid, t_term, self.x, self.y, moft_name)
+        )
+        if at_instant is not None:
+            self._outputs = tuple(c for c in self._outputs if c != "t")
+            if not self._outputs:
+                self._outputs = ("oid",)
+        self._has_moft = True
+        return self
+
+    # -- temporal constraints ------------------------------------------------------
+
+    def during(self, level: str, member: Hashable) -> "RegionBuilder":
+        """Require ``R^{level}(t) = member`` (e.g. timeOfDay = Morning)."""
+        self._conjuncts.append(ast.TimeRollup(self.t, level, ast.Const(member)))
+        return self
+
+    def where_time(self, level: str, op: str, value: Any) -> "RegionBuilder":
+        """Require ``R^{level}(t) op value`` (e.g. hour >= 8)."""
+        self._conjuncts.append(ast.TimeRollupCompare(self.t, level, op, value))
+        return self
+
+    # -- spatial constraints ----------------------------------------------------------
+
+    def in_attribute_polygon(
+        self,
+        attribute: str,
+        member: Optional[Hashable] = None,
+        value_filter: Optional[Tuple[str, str, Any]] = None,
+    ) -> "RegionBuilder":
+        """Sample position inside the polygon of an application member.
+
+        Emits the paper's pattern ``r^{Pt,Pg}_L(x, y, pg) ∧ α(n) = pg`` plus
+        optionally ``n.field op value`` or ``n = member``.
+        """
+        from repro.gis import POLYGON
+
+        return self.in_attribute_geometry(
+            attribute, POLYGON, member=member, value_filter=value_filter
+        )
+
+    def in_attribute_geometry(
+        self,
+        attribute: str,
+        kind: str,
+        member: Optional[Hashable] = None,
+        value_filter: Optional[Tuple[str, str, Any]] = None,
+        layer: Optional[str] = None,
+    ) -> "RegionBuilder":
+        """Generalized containment against any geometry kind.
+
+        ``layer`` is normally inferred from the attribute placement at
+        build time and can be passed explicitly only to override.
+        """
+        gid = self._gensym("g")
+        member_term: "ast.Var | ast.Const"
+        if member is not None:
+            member_term = ast.Const(member)
+        else:
+            member_term = self._gensym("m")
+        self._conjuncts.append(
+            _DeferredPlacement(attribute, kind, layer, self.x, self.y, gid)
+        )
+        self._conjuncts.append(ast.Alpha(attribute, member_term, gid))
+        if value_filter is not None:
+            field_name, op, value = value_filter
+            self._conjuncts.append(
+                ast.Compare(
+                    ast.MemberValue(attribute, member_term, field_name),
+                    op,
+                    ast.Const(value),
+                )
+            )
+        return self
+
+    def near_attribute_node(
+        self,
+        attribute: str,
+        radius: float,
+        member: Optional[Hashable] = None,
+    ) -> "RegionBuilder":
+        """Sample position within ``radius`` of a node-placed member.
+
+        Queries 6 and 7: near schools / near the Groenplaats tram stop.
+        """
+        gid = self._gensym("g")
+        member_term: "ast.Var | ast.Const"
+        if member is not None:
+            member_term = ast.Const(member)
+        else:
+            member_term = self._gensym("m")
+        self._conjuncts.append(ast.Alpha(attribute, member_term, gid))
+        self._conjuncts.append(
+            _DeferredWithinDistance(attribute, self.x, self.y, gid, radius)
+        )
+        return self
+
+    def trajectory_through_attribute(
+        self,
+        attribute: str,
+        member: Optional[Hashable] = None,
+        value_filter: Optional[Tuple[str, str, Any]] = None,
+        moft_name: str = "FM",
+    ) -> "RegionBuilder":
+        """Interpolated trajectory intersects the member's geometry (Type 7)."""
+        gid = self._gensym("g")
+        member_term: "ast.Var | ast.Const"
+        if member is not None:
+            member_term = ast.Const(member)
+        else:
+            member_term = self._gensym("m")
+        self._conjuncts.append(ast.Alpha(attribute, member_term, gid))
+        self._conjuncts.append(
+            _DeferredTrajectoryIntersects(attribute, self.oid, gid, moft_name)
+        )
+        if value_filter is not None:
+            field_name, op, value = value_filter
+            self._conjuncts.append(
+                ast.Compare(
+                    ast.MemberValue(attribute, member_term, field_name),
+                    op,
+                    ast.Const(value),
+                )
+            )
+        return self
+
+    def trajectory_near_attribute_node(
+        self,
+        attribute: str,
+        radius: float,
+        member: Optional[Hashable] = None,
+        moft_name: str = "FM",
+    ) -> "RegionBuilder":
+        """Interpolated trajectory within ``radius`` of a node member."""
+        gid = self._gensym("g")
+        member_term: "ast.Var | ast.Const"
+        if member is not None:
+            member_term = ast.Const(member)
+        else:
+            member_term = self._gensym("m")
+        self._conjuncts.append(ast.Alpha(attribute, member_term, gid))
+        self._conjuncts.append(
+            _DeferredTrajectoryNear(attribute, self.oid, gid, radius, moft_name)
+        )
+        return self
+
+    def where_member(
+        self, attribute: str, members: Sequence[Hashable], kind: Optional[str] = None
+    ) -> "RegionBuilder":
+        """Restrict positions to the polygons of an explicit member list."""
+        gid = self._gensym("g")
+        member_term = self._gensym("m")
+        self._conjuncts.append(
+            _DeferredPlacement(attribute, kind, None, self.x, self.y, gid)
+        )
+        self._conjuncts.append(ast.Alpha(attribute, member_term, gid))
+        self._conjuncts.append(
+            ast.Or(
+                *[
+                    ast.Compare(member_term, "=", ast.Const(m))
+                    for m in members
+                ]
+            )
+        )
+        return self
+
+    def filter(self, formula: ast.Formula) -> "RegionBuilder":
+        """Append an arbitrary formula conjunct (escape hatch)."""
+        self._conjuncts.append(formula)
+        return self
+
+    def not_exists(self, formula: ast.Formula) -> "RegionBuilder":
+        """Append ``¬ formula`` (query 3's "never sampled elsewhere")."""
+        self._conjuncts.append(ast.Not(formula))
+        return self
+
+    # -- projection & build ---------------------------------------------------------------
+
+    def output(self, *columns: str) -> "RegionBuilder":
+        """Set the region's output columns (default ``oid, t``)."""
+        if not columns:
+            raise QueryError("output needs at least one column")
+        self._outputs = tuple(columns)
+        return self
+
+    def build(self, gis=None) -> SpatioTemporalRegion:
+        """Finalize into a :class:`SpatioTemporalRegion`.
+
+        When ``gis`` is given, deferred placement lookups (layer inference
+        from attribute placements) resolve now; otherwise they resolve on
+        first evaluation via the context.
+        """
+        if not self._has_moft:
+            raise QueryError(
+                "builder regions are MOFT-based; call from_moft() first "
+                "(for purely spatial regions use the AST directly)"
+            )
+        conjuncts = [
+            c.resolve(gis) if isinstance(c, _Deferred) else c
+            for c in self._conjuncts
+        ]
+        return SpatioTemporalRegion(self._outputs, ast.And(*conjuncts))
+
+    def count_query(
+        self,
+        distinct_objects: bool = False,
+        group_by: Tuple[str, ...] = (),
+        per_span: Optional[Tuple[str, Hashable]] = None,
+        gis=None,
+    ) -> MovingObjectAggregateQuery:
+        """Build the region and wrap it in a COUNT aggregate."""
+        spec = AggregateSpec(
+            measure="oid" if distinct_objects else None,
+            distinct=distinct_objects,
+            group_by=group_by,
+            per_span_level=per_span[0] if per_span else None,
+            per_span_member=per_span[1] if per_span else None,
+        )
+        return MovingObjectAggregateQuery(self.build(gis), spec)
+
+
+class _Deferred:
+    """A conjunct needing the GIS schema to resolve (layer inference)."""
+
+    def resolve(self, gis) -> ast.Formula:
+        raise NotImplementedError
+
+
+class _DeferredPlacement(_Deferred, ast.Atom):
+    """PointIn whose layer/kind come from an attribute placement."""
+
+    def __init__(self, attribute, kind, layer, x, y, gid) -> None:
+        self.attribute = attribute
+        self.kind = kind
+        self.layer = layer
+        self.x, self.y, self.gid = x, y, gid
+
+    def _terms(self):
+        return (self.x, self.y, self.gid)
+
+    def check(self, context, env):
+        return self.resolve(context.gis).check(context, env)
+
+    def enumerate_bindings(self, context, env):
+        return self.resolve(context.gis).enumerate_bindings(context, env)
+
+    def can_enumerate(self, env):
+        return ast.is_bound(self.x, env) and ast.is_bound(self.y, env)
+
+    def resolve(self, gis) -> ast.Formula:
+        if gis is None:
+            return self
+        placement = gis.schema.placement(self.attribute)
+        kind = self.kind or placement.kind
+        layer = self.layer or placement.layer
+        return ast.PointIn(self.x, self.y, layer, kind, self.gid)
+
+
+class _DeferredWithinDistance(_Deferred, ast.Atom):
+    """WithinDistance whose layer/kind come from an attribute placement."""
+
+    def __init__(self, attribute, x, y, gid, radius) -> None:
+        self.attribute = attribute
+        self.x, self.y, self.gid = x, y, gid
+        self.radius = radius
+
+    def _terms(self):
+        return (self.x, self.y, self.gid)
+
+    def check(self, context, env):
+        return self.resolve(context.gis).check(context, env)
+
+    def enumerate_bindings(self, context, env):
+        return self.resolve(context.gis).enumerate_bindings(context, env)
+
+    def can_enumerate(self, env):
+        return ast.is_bound(self.x, env) and ast.is_bound(self.y, env)
+
+    def resolve(self, gis) -> ast.Formula:
+        if gis is None:
+            return self
+        placement = gis.schema.placement(self.attribute)
+        return ast.WithinDistance(
+            self.x, self.y, placement.layer, placement.kind, self.gid, self.radius
+        )
+
+
+class _DeferredTrajectoryIntersects(_Deferred, ast.Atom):
+    """TrajectoryIntersects with layer/kind from an attribute placement."""
+
+    def __init__(self, attribute, oid, gid, moft_name) -> None:
+        self.attribute = attribute
+        self.oid, self.gid = oid, gid
+        self.moft_name = moft_name
+
+    def _terms(self):
+        return (self.oid, self.gid)
+
+    def check(self, context, env):
+        return self.resolve(context.gis).check(context, env)
+
+    def enumerate_bindings(self, context, env):
+        return self.resolve(context.gis).enumerate_bindings(context, env)
+
+    def can_enumerate(self, env):
+        return ast.is_bound(self.oid, env)
+
+    def resolve(self, gis) -> ast.Formula:
+        if gis is None:
+            return self
+        placement = gis.schema.placement(self.attribute)
+        return ast.TrajectoryIntersects(
+            self.oid, placement.layer, placement.kind, self.gid, self.moft_name
+        )
+
+
+class _DeferredTrajectoryNear(_Deferred, ast.Atom):
+    """TrajectoryWithinDistance with layer/kind from a placement."""
+
+    def __init__(self, attribute, oid, gid, radius, moft_name) -> None:
+        self.attribute = attribute
+        self.oid, self.gid = oid, gid
+        self.radius = radius
+        self.moft_name = moft_name
+
+    def _terms(self):
+        return (self.oid, self.gid)
+
+    def check(self, context, env):
+        return self.resolve(context.gis).check(context, env)
+
+    def enumerate_bindings(self, context, env):
+        return self.resolve(context.gis).enumerate_bindings(context, env)
+
+    def can_enumerate(self, env):
+        return ast.is_bound(self.oid, env)
+
+    def resolve(self, gis) -> ast.Formula:
+        if gis is None:
+            return self
+        placement = gis.schema.placement(self.attribute)
+        return ast.TrajectoryWithinDistance(
+            self.oid,
+            placement.layer,
+            placement.kind,
+            self.gid,
+            self.radius,
+            self.moft_name,
+        )

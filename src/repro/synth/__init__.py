@@ -1,0 +1,54 @@
+"""Synthetic data: the paper's exact running example and scalable worlds."""
+
+from repro.synth.city import CityConfig, SyntheticCity, build_city, city_schema
+from repro.synth.movement import (
+    adversarial_moft,
+    commuter_moft,
+    random_waypoint_moft,
+    route_following_moft,
+)
+from repro.synth.warehouse import (
+    revenue_of_cities,
+    sales_cube,
+    sales_fact_table,
+    stores_dimension,
+)
+from repro.synth.paperdata import (
+    INCOMES,
+    LOW_INCOME_THRESHOLD,
+    MORNING_INSTANTS,
+    TABLE1_SAMPLES,
+    PaperInstance,
+    figure1_gis,
+    figure1_instance,
+    figure1_time,
+    figure2_schema,
+    neighborhood_polygons,
+    table1_moft,
+)
+
+__all__ = [
+    "CityConfig",
+    "SyntheticCity",
+    "build_city",
+    "city_schema",
+    "revenue_of_cities",
+    "sales_cube",
+    "sales_fact_table",
+    "stores_dimension",
+    "adversarial_moft",
+    "commuter_moft",
+    "random_waypoint_moft",
+    "route_following_moft",
+    "INCOMES",
+    "LOW_INCOME_THRESHOLD",
+    "MORNING_INSTANTS",
+    "TABLE1_SAMPLES",
+    "PaperInstance",
+    "figure1_gis",
+    "figure1_instance",
+    "figure1_time",
+    "figure2_schema",
+    "neighborhood_polygons",
+    "table1_moft",
+]

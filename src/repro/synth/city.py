@@ -1,0 +1,243 @@
+"""A deterministic synthetic city.
+
+The paper's motivating example (Section 1.1) is "a layered representation
+of geographic features of a city": neighborhoods (polygons), highways and
+streets (polylines), schools, stores and gas stations (points), a river
+dividing the city into a northern and a southern part, and a bounding box.
+This generator produces exactly that, at configurable scale, with every
+layer wired into a :class:`~repro.gis.instance.GISDimensionInstance`:
+
+* ``Ln`` — neighborhoods: a ``cols × rows`` grid of polygon blocks with
+  deterministic incomes and populations;
+* ``Lc`` — cities: groups of ``city_span × city_span`` blocks, with
+  populations summed from their neighborhoods;
+* ``Lst`` — streets: the horizontal and vertical grid lines, stored as
+  polylines composed of per-block line segments (populating the
+  ``line → polyline`` rollup relation of Figure 2);
+* ``Lr`` — the river: a polyline meandering along the city's horizontal
+  midline;
+* ``Ls`` / ``Lsto`` / ``Lg`` — schools, stores, gas stations: nodes placed
+  deterministically inside blocks.
+
+Everything derives from ``seed``; equal configs produce equal cities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SchemaError
+from repro.geometry.point import BoundingBox, Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+from repro.gis import (
+    ALL,
+    LINE,
+    NODE,
+    POINT,
+    POLYGON,
+    POLYLINE,
+    AttributePlacement,
+    GISDimensionInstance,
+    GISDimensionSchema,
+    LayerHierarchy,
+)
+from repro.olap.dimension import DimensionSchema
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of the synthetic city."""
+
+    cols: int = 6
+    rows: int = 6
+    block_size: float = 10.0
+    city_span: int = 3
+    schools_per_city: int = 2
+    stores_per_city: int = 3
+    gas_stations_per_city: int = 1
+    income_low: float = 800.0
+    income_high: float = 4000.0
+    population_low: int = 5_000
+    population_high: int = 80_000
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise SchemaError("city needs at least one block")
+        if self.block_size <= 0:
+            raise SchemaError("block size must be positive")
+        if self.city_span < 1:
+            raise SchemaError("city span must be >= 1")
+
+
+def city_schema() -> GISDimensionSchema:
+    """The GIS dimension schema of the synthetic city (Figure 2, extended)."""
+    hierarchies = [
+        LayerHierarchy("Ln", [(POINT, POLYGON), (POLYGON, ALL)]),
+        LayerHierarchy("Lc", [(POINT, POLYGON), (POLYGON, ALL)]),
+        LayerHierarchy(
+            "Lst", [(POINT, LINE), (LINE, POLYLINE), (POLYLINE, ALL)]
+        ),
+        LayerHierarchy(
+            "Lr", [(POINT, LINE), (LINE, POLYLINE), (POLYLINE, ALL)]
+        ),
+        LayerHierarchy("Ls", [(POINT, NODE), (NODE, ALL)]),
+        LayerHierarchy("Lsto", [(POINT, NODE), (NODE, ALL)]),
+        LayerHierarchy("Lg", [(POINT, NODE), (NODE, ALL)]),
+    ]
+    placements = [
+        AttributePlacement("neighborhood", POLYGON, "Ln"),
+        AttributePlacement("city", POLYGON, "Lc"),
+        AttributePlacement("street", POLYLINE, "Lst"),
+        AttributePlacement("river", POLYLINE, "Lr"),
+        AttributePlacement("school", NODE, "Ls"),
+        AttributePlacement("store", NODE, "Lsto"),
+        AttributePlacement("gas_station", NODE, "Lg"),
+    ]
+    dimensions = [
+        DimensionSchema("Neighbourhoods", [("neighborhood", "city")]),
+        DimensionSchema("Streets", [("street", "streetType")]),
+        DimensionSchema("Schools", [("school", "district")]),
+    ]
+    return GISDimensionSchema(hierarchies, placements, dimensions)
+
+
+@dataclass
+class SyntheticCity:
+    """The generated world plus convenient member listings."""
+
+    config: CityConfig
+    gis: GISDimensionInstance
+    bounding_box: BoundingBox
+    neighborhoods: List[str] = field(default_factory=list)
+    cities: List[str] = field(default_factory=list)
+    streets: List[str] = field(default_factory=list)
+    schools: List[str] = field(default_factory=list)
+    stores: List[str] = field(default_factory=list)
+    gas_stations: List[str] = field(default_factory=list)
+
+    def low_income_neighborhoods(self, threshold: float) -> List[str]:
+        """Neighborhood members with income below ``threshold``."""
+        return sorted(
+            self.gis.members_where(
+                "neighborhood", lambda v: v("income") < threshold
+            )
+        )
+
+
+def build_city(config: CityConfig | None = None) -> SyntheticCity:
+    """Generate the synthetic city for a config (deterministic in seed)."""
+    config = config or CityConfig()
+    rng = random.Random(config.seed)
+    gis = GISDimensionInstance(city_schema())
+    size = config.block_size
+    width = config.cols * size
+    height = config.rows * size
+    city = SyntheticCity(
+        config=config,
+        gis=gis,
+        bounding_box=BoundingBox(0.0, 0.0, width, height),
+    )
+    app = gis.application_instance("Neighbourhoods")
+
+    # -- neighborhoods and cities ------------------------------------------------
+    city_cols = (config.cols + config.city_span - 1) // config.city_span
+    city_rows = (config.rows + config.city_span - 1) // config.city_span
+    city_population: Dict[str, int] = {}
+    for ci in range(city_cols):
+        for cj in range(city_rows):
+            name = f"city_{ci}_{cj}"
+            x0 = ci * config.city_span * size
+            y0 = cj * config.city_span * size
+            x1 = min((ci + 1) * config.city_span * size, width)
+            y1 = min((cj + 1) * config.city_span * size, height)
+            gid = f"pg_{name}"
+            gis.add_geometry("Lc", POLYGON, gid, Polygon.rectangle(x0, y0, x1, y1))
+            gis.set_alpha("city", name, gid)
+            city.cities.append(name)
+            city_population[name] = 0
+    for i in range(config.cols):
+        for j in range(config.rows):
+            name = f"nb_{i}_{j}"
+            gid = f"pg_{name}"
+            polygon = Polygon.rectangle(
+                i * size, j * size, (i + 1) * size, (j + 1) * size
+            )
+            gis.add_geometry("Ln", POLYGON, gid, polygon)
+            gis.set_alpha("neighborhood", name, gid)
+            income = rng.uniform(config.income_low, config.income_high)
+            population = rng.randint(
+                config.population_low, config.population_high
+            )
+            gis.set_member_value("neighborhood", name, "income", income)
+            gis.set_member_value("neighborhood", name, "population", population)
+            parent = f"city_{i // config.city_span}_{j // config.city_span}"
+            app.set_rollup("neighborhood", name, "city", parent)
+            city_population[parent] += population
+            city.neighborhoods.append(name)
+    for name, population in city_population.items():
+        gis.set_member_value("city", name, "population", population)
+
+    # -- streets: grid lines as polylines composed of block-length lines ----------
+    def add_street(name: str, vertices: List[Point]) -> None:
+        gid = f"pl_{name}"
+        gis.add_geometry("Lst", POLYLINE, gid, Polyline(vertices))
+        gis.set_alpha("street", name, gid)
+        gis.set_member_value(
+            "street", name, "length", Polyline(vertices).length
+        )
+        for k, (a, b) in enumerate(zip(vertices, vertices[1:])):
+            line_id = f"ln_{name}_{k}"
+            gis.add_geometry("Lst", LINE, line_id, Segment(a, b))
+            gis.relate("Lst", LINE, line_id, POLYLINE, gid)
+        city.streets.append(name)
+
+    for j in range(config.rows + 1):
+        y = j * size
+        add_street(
+            f"h{j}", [Point(i * size, y) for i in range(config.cols + 1)]
+        )
+    for i in range(config.cols + 1):
+        x = i * size
+        add_street(
+            f"v{i}", [Point(x, j * size) for j in range(config.rows + 1)]
+        )
+
+    # -- the river: meanders along the horizontal midline --------------------------
+    mid = height / 2
+    river_points = []
+    for i in range(config.cols + 1):
+        wiggle = rng.uniform(-size / 4, size / 4)
+        river_points.append(Point(i * size, mid + wiggle))
+    gis.add_geometry("Lr", POLYLINE, "pl_river", Polyline(river_points))
+    gis.set_alpha("river", "river", "pl_river")
+
+    # -- point features: schools, stores, gas stations -----------------------------
+    def scatter(layer: str, attribute: str, prefix: str, per_city: int, bag: List[str]):
+        for ci in range(city_cols):
+            for cj in range(city_rows):
+                for k in range(per_city):
+                    name = f"{prefix}_{ci}_{cj}_{k}"
+                    x = rng.uniform(
+                        ci * config.city_span * size + 1,
+                        min((ci + 1) * config.city_span * size, width) - 1,
+                    )
+                    y = rng.uniform(
+                        cj * config.city_span * size + 1,
+                        min((cj + 1) * config.city_span * size, height) - 1,
+                    )
+                    gid = f"nd_{name}"
+                    gis.add_geometry(layer, NODE, gid, Point(x, y))
+                    gis.set_alpha(attribute, name, gid)
+                    bag.append(name)
+
+    scatter("Ls", "school", "school", config.schools_per_city, city.schools)
+    scatter("Lsto", "store", "store", config.stores_per_city, city.stores)
+    scatter(
+        "Lg", "gas_station", "gas", config.gas_stations_per_city, city.gas_stations
+    )
+    return city

@@ -1,0 +1,194 @@
+"""Moving-object simulators.
+
+"The behavior of all these moving objects is traceable by means of
+electronic devices" (Section 1) — these generators play the role of those
+devices, emitting MOFT samples ``(Oid, t, x, y)`` for several movement
+models:
+
+* :func:`random_waypoint_moft` — the classical random-waypoint model:
+  objects pick a destination in the world box, travel at their speed,
+  repeat; positions are sampled at every instant (cars, pedestrians);
+* :func:`route_following_moft` — objects shuttle along fixed polyline
+  routes at constant speed (buses, trams);
+* :func:`commuter_moft` — objects move from a southern home to a northern
+  work location during a morning window and stay there (commuter traffic);
+* :func:`adversarial_moft` — objects whose trajectories avoid a given box
+  entirely: every region query over them degenerates to the paper's
+  "worst case [where] the whole trajectory must be checked".
+
+All generators are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.geometry.point import BoundingBox, Point
+from repro.geometry.polyline import Polyline
+from repro.mo.moft import MOFT
+
+
+def _validate(n_objects: int, n_instants: int) -> None:
+    if n_objects < 1:
+        raise SchemaError("need at least one object")
+    if n_instants < 2:
+        raise SchemaError("need at least two instants")
+
+
+def random_waypoint_moft(
+    box: BoundingBox,
+    n_objects: int,
+    n_instants: int,
+    speed: float = 2.0,
+    seed: int = 11,
+    name: str = "FM",
+    oid_prefix: str = "car",
+) -> MOFT:
+    """Random-waypoint movement sampled at instants ``0 .. n_instants-1``."""
+    _validate(n_objects, n_instants)
+    if speed <= 0:
+        raise SchemaError("speed must be positive")
+    rng = random.Random(seed)
+    moft = MOFT(name)
+    for index in range(n_objects):
+        oid = f"{oid_prefix}{index}"
+        x = rng.uniform(box.min_x, box.max_x)
+        y = rng.uniform(box.min_y, box.max_y)
+        target_x = rng.uniform(box.min_x, box.max_x)
+        target_y = rng.uniform(box.min_y, box.max_y)
+        for t in range(n_instants):
+            moft.add(oid, t, x, y)
+            remaining = speed
+            while remaining > 0:
+                dx = target_x - x
+                dy = target_y - y
+                dist = (dx * dx + dy * dy) ** 0.5
+                if dist <= remaining:
+                    x, y = target_x, target_y
+                    remaining -= dist
+                    target_x = rng.uniform(box.min_x, box.max_x)
+                    target_y = rng.uniform(box.min_y, box.max_y)
+                else:
+                    x += dx / dist * remaining
+                    y += dy / dist * remaining
+                    remaining = 0
+    return moft
+
+
+def route_following_moft(
+    routes: Sequence[Polyline],
+    objects_per_route: int,
+    n_instants: int,
+    speed: float = 2.0,
+    seed: int = 13,
+    name: str = "FM",
+    oid_prefix: str = "bus",
+) -> MOFT:
+    """Objects shuttling back and forth along fixed routes.
+
+    Each object starts at a random offset along its route and bounces
+    between the endpoints at constant speed.
+    """
+    if not routes:
+        raise SchemaError("need at least one route")
+    _validate(objects_per_route, n_instants)
+    if speed <= 0:
+        raise SchemaError("speed must be positive")
+    rng = random.Random(seed)
+    moft = MOFT(name)
+    for route_index, route in enumerate(routes):
+        length = route.length
+        if length <= 0:
+            raise SchemaError(f"route {route_index} has zero length")
+        for k in range(objects_per_route):
+            oid = f"{oid_prefix}{route_index}_{k}"
+            offset = rng.uniform(0, length)
+            direction = 1.0 if rng.random() < 0.5 else -1.0
+            for t in range(n_instants):
+                p = route.point_at_distance(offset)
+                moft.add(oid, t, float(p.x), float(p.y))
+                offset += direction * speed
+                while offset > length or offset < 0:
+                    if offset > length:
+                        offset = 2 * length - offset
+                    else:
+                        offset = -offset
+                    direction = -direction
+    return moft
+
+
+def commuter_moft(
+    box: BoundingBox,
+    n_objects: int,
+    n_instants: int,
+    morning_end: int,
+    seed: int = 17,
+    name: str = "FM",
+    oid_prefix: str = "commuter",
+) -> MOFT:
+    """South-to-north commuters: travel until ``morning_end``, then park.
+
+    Homes are in the southern third, work places in the northern third;
+    each commuter interpolates between them over instants
+    ``0 .. morning_end`` and stays at work afterwards.
+    """
+    _validate(n_objects, n_instants)
+    if not 1 <= morning_end < n_instants:
+        raise SchemaError("morning_end must lie inside the instant range")
+    rng = random.Random(seed)
+    moft = MOFT(name)
+    south_top = box.min_y + box.height / 3
+    north_bottom = box.max_y - box.height / 3
+    for index in range(n_objects):
+        oid = f"{oid_prefix}{index}"
+        home = (
+            rng.uniform(box.min_x, box.max_x),
+            rng.uniform(box.min_y, south_top),
+        )
+        work = (
+            rng.uniform(box.min_x, box.max_x),
+            rng.uniform(north_bottom, box.max_y),
+        )
+        for t in range(n_instants):
+            w = min(t / morning_end, 1.0)
+            x = home[0] + w * (work[0] - home[0])
+            y = home[1] + w * (work[1] - home[1])
+            moft.add(oid, t, x, y)
+    return moft
+
+
+def adversarial_moft(
+    avoid: BoundingBox,
+    n_objects: int,
+    n_instants: int,
+    margin: float = 5.0,
+    seed: int = 19,
+    name: str = "FM",
+    oid_prefix: str = "ghost",
+) -> MOFT:
+    """Objects whose whole trajectories stay strictly outside ``avoid``.
+
+    They wander in a band to the east of the avoided box, so that
+    intersection queries against geometries inside the box reject every
+    trajectory only after scanning all of its segments — the paper's
+    worst case.
+    """
+    _validate(n_objects, n_instants)
+    if margin <= 0:
+        raise SchemaError("margin must be positive")
+    rng = random.Random(seed)
+    moft = MOFT(name)
+    band_min_x = avoid.max_x + margin
+    band_max_x = avoid.max_x + margin * 10
+    for index in range(n_objects):
+        oid = f"{oid_prefix}{index}"
+        for t in range(n_instants):
+            moft.add(
+                oid,
+                t,
+                rng.uniform(band_min_x, band_max_x),
+                rng.uniform(avoid.min_y, avoid.max_y),
+            )
+    return moft

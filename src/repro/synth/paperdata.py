@@ -1,0 +1,228 @@
+"""The paper's running example, made concrete.
+
+Figure 1 shows six buses moving over Antwerp neighborhoods shaded by
+income; Table 1 lists their MOFT ``FM_bus`` with symbolic coordinates
+``(x1, y1) … (x9, y9)``.  This module realizes that instance with concrete
+coordinates chosen so that every statement the paper makes about it holds:
+
+* **O1** remains always within the low-income region (all four samples);
+* **O2** starts in a high-income region, enters a low-income neighborhood
+  at t=3, and leaves again at t=4;
+* **O3, O4, O5** are always in high-income neighborhoods;
+* **O6** *passes through* a low-income region between its two samples but
+  was never sampled inside it;
+* with "the morning" = instants {2, 3, 4}, the running query "number of
+  buses per hour in the morning in the neighborhoods with income < 1500"
+  evaluates to **4/3 ≈ 1.333** (Remark 1: O1 contributes three times, O2
+  once, over a three-hour span).
+
+The world is a 20×20 city split into four neighborhoods.  The low-income
+region is the southern half plus a "bump" of Berchem reaching north between
+x=12 and x=16, which is what O6's interpolated segment crosses::
+
+    y=20 ┌─────────┬──────────────┐
+         │ centrum │    noord     │   centrum: income 2500 (high)
+    y=12 │ (high)  │  ┌────┐      │   noord:   income 3000 (high)
+    y=10 ├─────────┴──┤bump├──────┤   zuid:    income 1200 (low)
+         │    zuid    │  berchem  │   berchem: income 1400 (low)
+    y=0  └────────────┴───────────┘
+        x=0         x=10,12  x=16  x=20
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.gis import (
+    ALL,
+    LINE,
+    NODE,
+    POINT,
+    POLYGON,
+    POLYLINE,
+    AttributePlacement,
+    GISDimensionInstance,
+    GISDimensionSchema,
+    LayerHierarchy,
+)
+from repro.mo.moft import MOFT
+from repro.olap.dimension import DimensionSchema
+from repro.query.region import EvaluationContext
+from repro.temporal.timedim import TimeDimension
+
+#: Income threshold of the running query (in the paper: C 1,500.00).
+LOW_INCOME_THRESHOLD = 1500
+
+#: Instants forming "the morning" of Remark 1 (time span: three hours).
+MORNING_INSTANTS = (2, 3, 4)
+
+#: Neighborhood incomes of the Figure 1 instance.
+INCOMES = {
+    "zuid": 1200,
+    "berchem": 1400,
+    "centrum": 2500,
+    "noord": 3000,
+}
+
+#: Table 1, with the symbolic coordinates made concrete.
+TABLE1_SAMPLES: Tuple[Tuple[str, int, float, float], ...] = (
+    # O1: always in zuid (low income).
+    ("O1", 1, 2.0, 2.0),
+    ("O1", 2, 4.0, 2.0),
+    ("O1", 3, 6.0, 2.0),
+    ("O1", 4, 8.0, 2.0),
+    # O2: high (centrum) -> low (zuid) -> high (centrum).
+    ("O2", 2, 2.0, 12.0),
+    ("O2", 3, 4.0, 6.0),
+    ("O2", 4, 2.0, 14.0),
+    # O3, O4, O5: always in high-income neighborhoods.
+    ("O3", 5, 15.0, 15.0),
+    ("O4", 6, 5.0, 15.0),
+    ("O5", 3, 12.0, 18.0),
+    # O6: sampled in noord twice; the straight path between the samples
+    # crosses the Berchem bump (low income) without a sample inside.
+    ("O6", 2, 11.0, 11.0),
+    ("O6", 3, 17.0, 11.0),
+)
+
+
+def neighborhood_polygons() -> Dict[str, Polygon]:
+    """The four neighborhoods of the Figure 1 city (a partition)."""
+    return {
+        "zuid": Polygon.rectangle(0, 0, 10, 10),
+        "berchem": Polygon(
+            [
+                Point(10, 0),
+                Point(20, 0),
+                Point(20, 10),
+                Point(16, 10),
+                Point(16, 12),
+                Point(12, 12),
+                Point(12, 10),
+                Point(10, 10),
+            ]
+        ),
+        "centrum": Polygon.rectangle(0, 10, 10, 20),
+        "noord": Polygon(
+            [
+                Point(10, 10),
+                Point(12, 10),
+                Point(12, 12),
+                Point(16, 12),
+                Point(16, 10),
+                Point(20, 10),
+                Point(20, 20),
+                Point(10, 20),
+            ]
+        ),
+    }
+
+
+def figure2_schema() -> GISDimensionSchema:
+    """The GIS dimension schema of Figure 2.
+
+    Three layers — rivers (Lr), schools (Ls), neighborhoods (Ln) — with
+    their granularity hierarchies, the α placements of the application
+    categories, and the application dimensions Rivers and Neighbourhoods
+    (neighborhood → city, as in Example 1).
+    """
+    rivers = LayerHierarchy(
+        "Lr", [(POINT, LINE), (LINE, POLYLINE), (POLYLINE, ALL)]
+    )
+    schools = LayerHierarchy("Ls", [(POINT, NODE), (NODE, ALL)])
+    neighborhoods = LayerHierarchy("Ln", [(POINT, POLYGON), (POLYGON, ALL)])
+    placements = [
+        AttributePlacement("river", POLYLINE, "Lr"),
+        AttributePlacement("school", NODE, "Ls"),
+        AttributePlacement("neighborhood", POLYGON, "Ln"),
+    ]
+    dimensions = [
+        DimensionSchema("Rivers", [("river", "basin")]),
+        DimensionSchema("Neighbourhoods", [("neighborhood", "city")]),
+    ]
+    return GISDimensionSchema(
+        [rivers, schools, neighborhoods], placements, dimensions
+    )
+
+
+def figure1_gis() -> GISDimensionInstance:
+    """The populated GIS of Figure 1 over the Figure 2 schema."""
+    gis = GISDimensionInstance(figure2_schema())
+    for name, polygon in neighborhood_polygons().items():
+        gid = f"pg_{name}"
+        gis.add_geometry("Ln", POLYGON, gid, polygon)
+        gis.set_alpha("neighborhood", name, gid)
+        gis.set_member_value("neighborhood", name, "income", INCOMES[name])
+    # All four neighborhoods belong to Antwerp in the application part.
+    app = gis.application_instance("Neighbourhoods")
+    for name in INCOMES:
+        app.set_rollup("neighborhood", name, "city", "antwerp")
+    # The river divides the city into a northern and a southern part.
+    gis.add_geometry(
+        "Lr",
+        POLYLINE,
+        "pl_scheldt",
+        Polyline([Point(-2, 10), Point(12, 10), Point(22, 10)]),
+    )
+    gis.set_alpha("river", "scheldt", "pl_scheldt")
+    # Two schools, one per half.
+    gis.add_geometry("Ls", NODE, "nd_school_south", Point(5, 5))
+    gis.add_geometry("Ls", NODE, "nd_school_north", Point(15, 15))
+    gis.set_alpha("school", "south-school", "nd_school_south")
+    gis.set_alpha("school", "north-school", "nd_school_north")
+    return gis
+
+
+def figure1_time() -> TimeDimension:
+    """The toy Time dimension: instants 1..6, morning = {2, 3, 4}."""
+    rollups: List[Tuple[str, Hashable, str, Hashable]] = []
+    for t in range(1, 7):
+        rollups.append(("timeId", t, "hour", t))
+        rollups.append(("timeId", t, "day", "2006-01-09"))
+    for t in MORNING_INSTANTS:
+        rollups.append(("hour", t, "timeOfDay", "Morning"))
+    for t in (1, 5, 6):
+        rollups.append(("hour", t, "timeOfDay", "Other"))
+    rollups.append(("day", "2006-01-09", "dayOfWeek", "Monday"))
+    rollups.append(("day", "2006-01-09", "typeOfDay", "Weekday"))
+    rollups.append(("day", "2006-01-09", "month", "2006-01"))
+    rollups.append(("month", "2006-01", "year", 2006))
+    return TimeDimension.from_explicit_rollups(rollups)
+
+
+def table1_moft() -> MOFT:
+    """The MOFT ``FM_bus`` of Table 1 (12 samples, 6 objects)."""
+    moft = MOFT("FMbus")
+    moft.add_many(TABLE1_SAMPLES)
+    return moft
+
+
+@dataclass(frozen=True)
+class PaperInstance:
+    """The complete running-example world."""
+
+    gis: GISDimensionInstance
+    time: TimeDimension
+    moft: MOFT
+
+    def context(self, use_overlay: bool = True) -> EvaluationContext:
+        """Build an evaluation context over this instance."""
+        return EvaluationContext(
+            self.gis, self.time, self.moft, use_overlay=use_overlay
+        )
+
+    @property
+    def low_income_neighborhoods(self) -> Set[str]:
+        """Members with income under the paper's threshold."""
+        return self.gis.members_where(
+            "neighborhood", lambda v: v("income") < LOW_INCOME_THRESHOLD
+        )
+
+
+def figure1_instance() -> PaperInstance:
+    """Assemble the full Figure 1 / Table 1 world."""
+    return PaperInstance(figure1_gis(), figure1_time(), table1_moft())

@@ -1,0 +1,110 @@
+"""The classical data warehouse of the paper's application part.
+
+Section 1.1: "there is numerical and categorical information stored in a
+conventional data warehouse.  In this data warehouse, there are dimension
+tables containing information about, for instance, stores, gas stations,
+schools; there is also a fact table containing economic information based
+on these dimensions."
+
+This module generates that warehouse for a :class:`~repro.synth.city.SyntheticCity`:
+a ``Stores`` dimension (store → city, aligned with the GIS α placements)
+and a sales fact table at (store, day) granularity.  Combined with the
+geometric subqueries, it answers the paper's signature GIS+OLAP questions
+("revenue of stores in cities crossed by the river").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.errors import SchemaError
+from repro.olap.cube import Cube
+from repro.olap.dimension import DimensionInstance, DimensionSchema
+from repro.olap.facttable import DimensionAttribute, FactTable, FactTableSchema
+from repro.synth.city import SyntheticCity
+from repro.temporal.timedim import TimeDimension
+
+
+def stores_dimension(city: SyntheticCity) -> DimensionInstance:
+    """The Stores dimension: store → city, matching the GIS placement.
+
+    The parent city of a store is read from the store's generated name
+    (``store_<ci>_<cj>_<k>``), which the generator placed inside
+    ``city_<ci>_<cj>`` — so the warehouse dimension and the GIS geometry
+    agree by construction.
+    """
+    schema = DimensionSchema("Stores", [("store", "city")])
+    instance = DimensionInstance(schema)
+    for store in city.stores:
+        _, ci, cj, _ = store.split("_")
+        instance.set_rollup("store", store, "city", f"city_{ci}_{cj}")
+    return instance
+
+
+def sales_fact_table(
+    city: SyntheticCity,
+    days: List[str],
+    seed: int = 101,
+    revenue_low: float = 100.0,
+    revenue_high: float = 5_000.0,
+) -> FactTable:
+    """A (store, day) → revenue fact table, deterministic in the seed."""
+    if not days:
+        raise SchemaError("need at least one day")
+    if revenue_low > revenue_high:
+        raise SchemaError("revenue_low must not exceed revenue_high")
+    rng = random.Random(seed)
+    schema = FactTableSchema(
+        "sales",
+        [
+            DimensionAttribute("store", "Stores", "store"),
+            DimensionAttribute("day", "Time", "day"),
+        ],
+        ["revenue"],
+    )
+    table = FactTable(schema)
+    for store in city.stores:
+        for day in days:
+            table.insert(
+                {
+                    "store": store,
+                    "day": day,
+                    "revenue": rng.uniform(revenue_low, revenue_high),
+                }
+            )
+    return table
+
+
+def sales_cube(
+    city: SyntheticCity, table: FactTable, time_dim: TimeDimension
+) -> Cube:
+    """Wrap the sales facts in a cube over Stores × Time."""
+    return Cube(
+        table,
+        {"Stores": stores_dimension(city), "Time": time_dim.instance},
+    )
+
+
+def revenue_of_cities(
+    city: SyntheticCity,
+    table: FactTable,
+    city_names: Set[Hashable],
+) -> float:
+    """Total revenue of stores located in the given cities.
+
+    This is the warehouse side of the paper's combined queries: the city
+    set typically comes from a geometric subquery (e.g. cities crossed by
+    the river), and the revenue from the classical fact table.
+    """
+    stores = stores_dimension(city)
+    qualifying = {
+        store
+        for store in city.stores
+        if stores.rollup(store, "store", "city") in city_names
+    }
+    total = 0.0
+    for row in table.rows():
+        if row["store"] in qualifying:
+            total += row["revenue"]
+    return total

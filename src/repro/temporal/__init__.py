@@ -1,0 +1,33 @@
+"""The Time dimension: calendar arithmetic plus OLAP rollups over instants."""
+
+from repro.temporal.calendar import (
+    DAY_NAMES,
+    DEFAULT_DAY_PARTS,
+    TIME_OF_DAY_NAMES,
+    InstantMapping,
+    day_of_week_name,
+    every_minutes,
+    hourly,
+    time_of_day_for_hour,
+    type_of_day,
+)
+from repro.temporal.timedim import (
+    TIME_SCHEMA_EDGES,
+    TimeDimension,
+    time_dimension_schema,
+)
+
+__all__ = [
+    "DAY_NAMES",
+    "DEFAULT_DAY_PARTS",
+    "TIME_OF_DAY_NAMES",
+    "InstantMapping",
+    "day_of_week_name",
+    "every_minutes",
+    "hourly",
+    "time_of_day_for_hour",
+    "type_of_day",
+    "TIME_SCHEMA_EDGES",
+    "TimeDimension",
+    "time_dimension_schema",
+]

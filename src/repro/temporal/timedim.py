@@ -1,0 +1,191 @@
+"""The Time dimension of the paper (Figure 2, right-hand side).
+
+The paper treats Time as "a special kind of dimension" because it is
+essential for moving objects: every example query constrains the MOFT
+through Time rollups like ``R^{timeOfDay}_{timeId}(t) = "Morning"``.
+
+:class:`TimeDimension` wraps a standard
+:class:`~repro.olap.dimension.DimensionInstance` whose schema is::
+
+    timeId -> hour -> timeOfDay -> All
+    timeId -> day  -> dayOfWeek -> All
+              day  -> typeOfDay -> All
+              day  -> month -> year -> All
+
+where ``hour`` is the hour-of-day (0..23), so that the paper's numeric
+comparisons over hours (``h >= 8 AND h <= 10``) type-check, and ``day`` is
+an ISO date string, so that slices like ``R^{day}_{timeId}(t) =
+"2006-01-07"`` read exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import RollupError, SchemaError
+from repro.olap.dimension import ALL_LEVEL, DimensionInstance, DimensionSchema
+from repro.temporal.calendar import (
+    DEFAULT_DAY_PARTS,
+    InstantMapping,
+    day_of_week_name,
+    time_of_day_for_hour,
+    type_of_day,
+)
+
+#: The schema edges of the Time dimension.
+TIME_SCHEMA_EDGES = (
+    ("timeId", "hour"),
+    ("hour", "timeOfDay"),
+    ("timeId", "day"),
+    ("day", "dayOfWeek"),
+    ("day", "typeOfDay"),
+    ("day", "month"),
+    ("month", "year"),
+)
+
+
+def time_dimension_schema(name: str = "Time") -> DimensionSchema:
+    """Return the paper's Time dimension schema."""
+    return DimensionSchema(name, TIME_SCHEMA_EDGES)
+
+
+class TimeDimension:
+    """A populated Time dimension over a set of integer instants.
+
+    Construct with :meth:`from_mapping` for calendar-backed instants or
+    :meth:`from_explicit_rollups` for hand-specified toy instances (like
+    the paper's Figure 1 example, where "Morning" is simply the instants
+    {2, 3, 4}).
+    """
+
+    def __init__(self, instance: DimensionInstance) -> None:
+        if instance.schema.bottom_level != "timeId":
+            raise SchemaError("a Time dimension must bottom out at 'timeId'")
+        self.instance = instance
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: InstantMapping,
+        instants: Iterable[int],
+        day_parts: Dict[str, Tuple[int, int]] | None = None,
+        name: str = "Time",
+    ) -> "TimeDimension":
+        """Populate the dimension from a calendar mapping.
+
+        Every instant's hour, day part, day, weekday, day type, month and
+        year are derived from ``mapping.to_datetime``.
+        """
+        schema = time_dimension_schema(name)
+        instance = DimensionInstance(schema)
+        parts = day_parts or DEFAULT_DAY_PARTS
+        seen_hours: Set[int] = set()
+        seen_days: Set[str] = set()
+        seen_months: Set[str] = set()
+        for t in instants:
+            moment = mapping.to_datetime(t)
+            hour = moment.hour
+            day = moment.date().isoformat()
+            month = f"{moment.year:04d}-{moment.month:02d}"
+            instance.set_rollup("timeId", t, "hour", hour)
+            instance.set_rollup("timeId", t, "day", day)
+            if hour not in seen_hours:
+                seen_hours.add(hour)
+                instance.set_rollup(
+                    "hour", hour, "timeOfDay", time_of_day_for_hour(hour, parts)
+                )
+            if day not in seen_days:
+                seen_days.add(day)
+                instance.set_rollup("day", day, "dayOfWeek", day_of_week_name(moment))
+                instance.set_rollup("day", day, "typeOfDay", type_of_day(moment))
+                instance.set_rollup("day", day, "month", month)
+            if month not in seen_months:
+                seen_months.add(month)
+                instance.set_rollup("month", month, "year", moment.year)
+        return cls(instance)
+
+    @classmethod
+    def from_explicit_rollups(
+        cls,
+        rollups: Iterable[Tuple[str, Hashable, str, Hashable]],
+        name: str = "Time",
+    ) -> "TimeDimension":
+        """Populate from explicit ``(child_level, child, parent_level, parent)``.
+
+        Used for small hand-built instances where the calendar is abstract,
+        e.g. the Figure 1 example where instants 2..4 are "the morning".
+        """
+        schema = time_dimension_schema(name)
+        instance = DimensionInstance(schema)
+        for child_level, child, parent_level, parent in rollups:
+            instance.set_rollup(child_level, child, parent_level, parent)
+        return cls(instance)
+
+    # -- rollup access -------------------------------------------------------------
+
+    @property
+    def instants(self) -> Set[int]:
+        """All registered timeId members."""
+        return self.instance.members("timeId")  # type: ignore[return-value]
+
+    def rollup(self, instant: int, level: str) -> Hashable:
+        """The paper's ``R^{level}_{timeId}(instant)``."""
+        return self.instance.rollup(instant, "timeId", level)
+
+    def try_rollup(self, instant: int, level: str) -> Optional[Hashable]:
+        """Like :meth:`rollup`, None when the instant is unregistered."""
+        return self.instance.try_rollup(instant, "timeId", level)
+
+    def hour_of(self, instant: int) -> int:
+        """Hour-of-day of an instant."""
+        return int(self.rollup(instant, "hour"))  # type: ignore[arg-type]
+
+    def day_of(self, instant: int) -> str:
+        """ISO day of an instant."""
+        return str(self.rollup(instant, "day"))
+
+    def time_of_day_of(self, instant: int) -> str:
+        """Day part ("Morning", ...) of an instant."""
+        return str(self.rollup(instant, "timeOfDay"))
+
+    def matches(self, instant: int, level: str, member: Hashable) -> bool:
+        """True when the instant rolls up to ``member`` at ``level``.
+
+        Unregistered instants match nothing (rather than raising): the MOFT
+        may contain samples outside the populated time window and those
+        simply fail every temporal constraint.
+        """
+        return self.try_rollup(instant, level) == member
+
+    def instants_where(self, level: str, member: Hashable) -> Set[int]:
+        """All instants rolling up to ``member`` at ``level``.
+
+        This inverts the rollup function — the evaluator uses it to push
+        temporal constraints into MOFT scans.
+        """
+        return {
+            t
+            for t in self.instants
+            if self.try_rollup(t, level) == member
+        }
+
+    def span(self, level: str, member: Hashable) -> int:
+        """Number of instants covered by ``member`` at ``level``.
+
+        The running query divides the number of contributing samples by the
+        *time span* of "the morning" (Remark 1: three hours); this method
+        provides that denominator.
+        """
+        count = len(self.instants_where(level, member))
+        if count == 0:
+            raise RollupError(
+                f"no instants roll up to {member!r} at level {level!r}"
+            )
+        return count
+
+    def check_consistency(self) -> None:
+        """Validate totality/path-independence of all time rollups."""
+        self.instance.check_consistency()

@@ -1,0 +1,149 @@
+"""ASCII rendering of layers and trajectories.
+
+Regenerates Figure 1 as a terminal artifact: neighborhoods shaded by a
+predicate (the paper shades low-income regions), trajectory samples as the
+object's digit, and optional polyline layers as ``~``.  Dependency-free and
+deterministic, so renders can be asserted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import BoundingBox, Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.mo.moft import MOFT
+
+#: Cell glyphs, in increasing precedence (later overwrites earlier).
+EMPTY = "."
+SHADED = "#"
+LINE_GLYPH = "~"
+
+
+class AsciiMap:
+    """A character raster over a world box."""
+
+    def __init__(
+        self, extent: BoundingBox, width: int = 60, height: int = 24
+    ) -> None:
+        if width < 2 or height < 2:
+            raise GeometryError("ascii map needs at least a 2x2 raster")
+        if extent.width <= 0 or extent.height <= 0:
+            raise GeometryError("ascii map needs a non-degenerate extent")
+        self.extent = extent
+        self.width = width
+        self.height = height
+        self._cells: List[List[str]] = [
+            [EMPTY] * width for _ in range(height)
+        ]
+
+    # -- raster addressing ------------------------------------------------------
+
+    def _cell_center(self, col: int, row: int) -> Point:
+        x = self.extent.min_x + (col + 0.5) * self.extent.width / self.width
+        # Row 0 is the top of the map.
+        y = self.extent.max_y - (row + 0.5) * self.extent.height / self.height
+        return Point(x, y)
+
+    def _cell_of(self, point: Point) -> Optional[Tuple[int, int]]:
+        if not self.extent.contains_point(point):
+            return None
+        col = int(
+            (float(point.x) - self.extent.min_x)
+            / self.extent.width
+            * self.width
+        )
+        row = int(
+            (self.extent.max_y - float(point.y))
+            / self.extent.height
+            * self.height
+        )
+        return (
+            min(max(col, 0), self.width - 1),
+            min(max(row, 0), self.height - 1),
+        )
+
+    # -- drawing -------------------------------------------------------------------
+
+    def shade_polygon(self, polygon: Polygon, glyph: str = SHADED) -> None:
+        """Fill raster cells whose centers lie in the polygon."""
+        for row in range(self.height):
+            for col in range(self.width):
+                if polygon.contains_point(self._cell_center(col, row)):
+                    self._cells[row][col] = glyph
+
+    def draw_polyline(self, polyline: Polyline, glyph: str = LINE_GLYPH) -> None:
+        """Trace a polyline by sampling it densely."""
+        steps = 4 * max(self.width, self.height)
+        for i in range(steps + 1):
+            cell = self._cell_of(polyline.point_at_fraction(i / steps))
+            if cell is not None:
+                col, row = cell
+                self._cells[row][col] = glyph
+
+    def plot_point(self, point: Point, glyph: str) -> None:
+        """Mark a single point (ignored when outside the extent)."""
+        cell = self._cell_of(point)
+        if cell is not None:
+            col, row = cell
+            self._cells[row][col] = glyph[0]
+
+    def render(self) -> str:
+        """Return the raster as a newline-joined string."""
+        return "\n".join("".join(row) for row in self._cells)
+
+
+def render_world(
+    polygons: Dict[Hashable, Polygon],
+    shaded: Callable[[Hashable], bool] = lambda member: False,
+    polylines: Iterable[Polyline] = (),
+    moft: Optional[MOFT] = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render a Figure 1-style map.
+
+    Polygons satisfying ``shaded`` fill with ``#`` (the paper's low-income
+    shading); polylines draw as ``~``; each MOFT object's samples plot as
+    the last character of its id (O1 → '1').
+    """
+    if not polygons:
+        raise GeometryError("nothing to render")
+    extent = None
+    for polygon in polygons.values():
+        extent = polygon.bbox if extent is None else extent.union(polygon.bbox)
+    assert extent is not None
+    ascii_map = AsciiMap(extent, width, height)
+    for member, polygon in polygons.items():
+        if shaded(member):
+            ascii_map.shade_polygon(polygon)
+    for polyline in polylines:
+        ascii_map.draw_polyline(polyline)
+    if moft is not None:
+        for oid, _, x, y in moft.tuples():
+            ascii_map.plot_point(Point(x, y), str(oid)[-1])
+    return ascii_map.render()
+
+
+def render_figure1(width: int = 60, height: int = 24) -> str:
+    """Regenerate the paper's Figure 1 as ASCII art."""
+    from repro.synth.paperdata import (
+        LOW_INCOME_THRESHOLD,
+        figure1_instance,
+        neighborhood_polygons,
+    )
+
+    world = figure1_instance()
+    polygons = neighborhood_polygons()
+    low = world.low_income_neighborhoods
+    river = world.gis.layer("Lr").element("polyline", "pl_scheldt")
+    return render_world(
+        polygons,
+        shaded=lambda member: member in low,
+        polylines=[river],
+        moft=world.moft,
+        width=width,
+        height=height,
+    )

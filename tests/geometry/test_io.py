@@ -1,0 +1,118 @@
+"""Tests for WKT / GeoJSON interchange."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Polygon, Polyline, Segment
+from repro.geometry.io import from_geojson, from_wkt, to_geojson, to_wkt
+
+
+def holed_polygon() -> Polygon:
+    return Polygon(
+        [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)],
+        holes=[[Point(4, 4), Point(6, 4), Point(6, 6), Point(4, 6)]],
+    )
+
+
+class TestWKT:
+    def test_point(self):
+        assert to_wkt(Point(1.5, -2)) == "POINT (1.5 -2)"
+        parsed = from_wkt("POINT (1.5 -2)")
+        assert parsed == Point(1.5, -2.0)
+
+    def test_segment_serializes_as_linestring(self):
+        wkt = to_wkt(Segment(Point(0, 0), Point(1, 1)))
+        assert wkt == "LINESTRING (0 0, 1 1)"
+
+    def test_polyline_roundtrip(self):
+        line = Polyline([Point(0, 0), Point(4, 0), Point(4, 3)])
+        parsed = from_wkt(to_wkt(line))
+        assert isinstance(parsed, Polyline)
+        assert parsed.vertices == line.vertices
+
+    def test_polygon_roundtrip_with_hole(self):
+        polygon = holed_polygon()
+        parsed = from_wkt(to_wkt(polygon))
+        assert isinstance(parsed, Polygon)
+        assert parsed.area == pytest.approx(polygon.area)
+        assert len(parsed.holes) == 1
+
+    def test_closing_vertex_in_wkt(self):
+        wkt = to_wkt(Polygon.rectangle(0, 0, 1, 1))
+        body = wkt[len("POLYGON ((") : -2]
+        pairs = body.split(", ")
+        assert pairs[0] == pairs[-1]  # ring closed per WKT convention
+
+    def test_parse_case_insensitive_and_whitespace(self):
+        parsed = from_wkt("  point( 3 4 ) ")
+        assert parsed == Point(3.0, 4.0)
+
+    def test_parse_errors(self):
+        with pytest.raises(GeometryError):
+            from_wkt("CIRCLE (0 0, 5)")
+        with pytest.raises(GeometryError):
+            from_wkt("POINT (1)")
+        with pytest.raises(GeometryError):
+            from_wkt("POLYGON ()")
+
+    def test_unsupported_type(self):
+        with pytest.raises(GeometryError):
+            to_wkt("not a geometry")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-1000, max_value=1000),
+                st.integers(min_value=-1000, max_value=1000),
+            ),
+            min_size=2,
+            max_size=10,
+            unique=True,
+        )
+    )
+    def test_polyline_roundtrip_property(self, coords):
+        line = Polyline([Point(float(x), float(y)) for x, y in coords])
+        parsed = from_wkt(to_wkt(line))
+        assert parsed.vertices == line.vertices
+
+
+class TestGeoJSON:
+    def test_point_roundtrip(self):
+        data = to_geojson(Point(1, 2))
+        assert data == {"type": "Point", "coordinates": [1.0, 2.0]}
+        assert from_geojson(data) == Point(1.0, 2.0)
+
+    def test_linestring_roundtrip(self):
+        line = Polyline([Point(0, 0), Point(1, 2)])
+        parsed = from_geojson(to_geojson(line))
+        assert isinstance(parsed, Polyline)
+        assert parsed.vertices == line.vertices
+
+    def test_segment_as_linestring(self):
+        data = to_geojson(Segment(Point(0, 0), Point(1, 1)))
+        assert data["type"] == "LineString"
+        assert len(data["coordinates"]) == 2
+
+    def test_polygon_roundtrip_with_hole(self):
+        polygon = holed_polygon()
+        parsed = from_geojson(to_geojson(polygon))
+        assert parsed.area == pytest.approx(polygon.area)
+        assert len(parsed.holes) == 1
+
+    def test_ring_closure_in_geojson(self):
+        data = to_geojson(Polygon.rectangle(0, 0, 1, 1))
+        ring = data["coordinates"][0]
+        assert ring[0] == ring[-1]
+
+    def test_malformed(self):
+        with pytest.raises(GeometryError):
+            from_geojson({"type": "Point"})
+        with pytest.raises(GeometryError):
+            from_geojson({"type": "MultiPolygon", "coordinates": []})
+        with pytest.raises(GeometryError):
+            from_geojson({"type": "Polygon", "coordinates": []})
+
+    def test_unsupported_type(self):
+        with pytest.raises(GeometryError):
+            to_geojson(42)

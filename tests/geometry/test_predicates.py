@@ -1,0 +1,170 @@
+"""Tests for the robust low-level predicates."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import predicates
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(coords, coords)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert predicates.orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_clockwise(self):
+        assert predicates.orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear_horizontal(self):
+        assert predicates.orientation((0, 0), (1, 0), (2, 0)) == 0
+
+    def test_collinear_diagonal(self):
+        assert predicates.orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_exact_fallback_near_collinear(self):
+        # These points are exactly collinear in rational arithmetic but the
+        # float determinant is a tiny non-zero value without exact fallback.
+        a = (0.0, 0.0)
+        b = (Fraction(1, 3), Fraction(1, 3))
+        c = (Fraction(2, 3), Fraction(2, 3))
+        assert predicates.orientation(a, b, c) == 0
+
+    def test_tiny_but_real_turn_detected(self):
+        a = (0, 0)
+        b = (Fraction(1), Fraction(0))
+        c = (Fraction(2), Fraction(1, 10**12))
+        assert predicates.orientation(a, b, c) == 1
+
+    @given(points, points, points)
+    def test_antisymmetry(self, p, q, r):
+        assert predicates.orientation(p, q, r) == -predicates.orientation(p, r, q)
+
+    @given(points, points, points)
+    def test_cyclic_invariance(self, p, q, r):
+        o = predicates.orientation(p, q, r)
+        assert predicates.orientation(q, r, p) == o
+        assert predicates.orientation(r, p, q) == o
+
+
+class TestOnSegment:
+    def test_midpoint_on_segment(self):
+        assert predicates.on_segment((1, 1), (0, 0), (2, 2))
+
+    def test_endpoint_on_segment(self):
+        assert predicates.on_segment((0, 0), (0, 0), (2, 2))
+
+    def test_outside_extent(self):
+        assert not predicates.on_segment((3, 3), (0, 0), (2, 2))
+
+    def test_off_line(self):
+        assert not predicates.on_segment((1, 2), (0, 0), (2, 2))
+
+    @given(points, points, st.floats(min_value=0, max_value=1))
+    def test_interpolated_point_is_on_segment(self, a, b, t):
+        p = (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+        # Floating interpolation may leave the exact line or round past an
+        # endpoint; only assert when the point is exactly collinear and
+        # inside the coordinate extent.
+        in_extent = (
+            min(a[0], b[0]) <= p[0] <= max(a[0], b[0])
+            and min(a[1], b[1]) <= p[1] <= max(a[1], b[1])
+        )
+        if in_extent and predicates.orientation(a, b, p) == 0:
+            assert predicates.on_segment(p, a, b)
+
+
+class TestSegmentsIntersect:
+    def test_plain_crossing(self):
+        assert predicates.segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_shared_endpoint(self):
+        assert predicates.segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert predicates.segments_intersect((0, 0), (2, 0), (1, 0), (1, 5))
+
+    def test_collinear_overlap(self):
+        assert predicates.segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not predicates.segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_parallel_disjoint(self):
+        assert not predicates.segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_near_miss(self):
+        assert not predicates.segments_intersect((0, 0), (1, 1), (0, 1), (0.4, 0.55))
+
+    def test_proper_excludes_endpoint_touch(self):
+        assert not predicates.segments_properly_intersect(
+            (0, 0), (1, 1), (1, 1), (2, 0)
+        )
+
+    def test_proper_includes_crossing(self):
+        assert predicates.segments_properly_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    @given(points, points, points, points)
+    def test_symmetric(self, a, b, c, d):
+        assert predicates.segments_intersect(a, b, c, d) == (
+            predicates.segments_intersect(c, d, a, b)
+        )
+
+
+class TestIntersectionParameters:
+    def test_crossing_parameters(self):
+        params = predicates.segment_intersection_parameters(
+            (0, 0), (2, 0), (1, -1), (1, 1)
+        )
+        assert params is not None
+        s, u = params
+        assert s == pytest.approx(0.5)
+        assert u == pytest.approx(0.5)
+
+    def test_parallel_returns_none(self):
+        assert (
+            predicates.segment_intersection_parameters((0, 0), (1, 0), (0, 1), (1, 1))
+            is None
+        )
+
+    def test_collinear_overlap_returns_none(self):
+        assert (
+            predicates.segment_intersection_parameters((0, 0), (2, 0), (1, 0), (3, 0))
+            is None
+        )
+
+    def test_disjoint_returns_none(self):
+        assert (
+            predicates.segment_intersection_parameters((0, 0), (1, 0), (5, 5), (6, 6))
+            is None
+        )
+
+    def test_exact_rational_crossing(self):
+        params = predicates.segment_intersection_parameters(
+            (Fraction(0), Fraction(0)),
+            (Fraction(1), Fraction(1)),
+            (Fraction(0), Fraction(1)),
+            (Fraction(1), Fraction(0)),
+        )
+        assert params is not None
+        s, u = params
+        assert s == pytest.approx(0.5)
+        assert u == pytest.approx(0.5)
+
+    @given(points, points, points, points)
+    def test_parameters_produce_matching_points(self, a, b, c, d):
+        params = predicates.segment_intersection_parameters(a, b, c, d)
+        if params is None:
+            return
+        s, u = float(params[0]), float(params[1])
+        px = a[0] + s * (b[0] - a[0])
+        py = a[1] + s * (b[1] - a[1])
+        qx = c[0] + u * (d[0] - c[0])
+        qy = c[1] + u * (d[1] - c[1])
+        scale = max(abs(px), abs(py), abs(qx), abs(qy), 1.0)
+        assert abs(px - qx) <= 1e-6 * scale
+        assert abs(py - qy) <= 1e-6 * scale

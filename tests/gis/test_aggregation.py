@@ -1,0 +1,165 @@
+"""Tests for geometric aggregation (Definition 4) and summability."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AggregationError
+from repro.geometry import Point, Polygon, Polyline, Segment
+from repro.gis import (
+    POLYGON,
+    GISFactTable,
+    geometric_aggregation,
+    integrate_along_polyline,
+    integrate_along_segment,
+    integrate_over_polygon,
+    sum_at_points,
+    summable_aggregate,
+)
+from repro.olap import AggregateFunction
+
+
+class TestPolygonIntegral:
+    def test_constant_density_gives_area(self):
+        square = Polygon.rectangle(0, 0, 3, 2)
+        assert integrate_over_polygon(lambda x, y: 1.0, square) == pytest.approx(6)
+
+    def test_scaled_density(self):
+        square = Polygon.rectangle(0, 0, 1, 1)
+        assert integrate_over_polygon(lambda x, y: 5.0, square) == pytest.approx(5)
+
+    def test_linear_density_exact_at_midpoints(self):
+        # Midpoint rule is exact for affine densities.
+        square = Polygon.rectangle(0, 0, 2, 2)
+        result = integrate_over_polygon(lambda x, y: x, square, subdivisions=2)
+        assert result == pytest.approx(4.0)  # ∫∫ x over [0,2]^2 = 4
+
+    def test_quadratic_density_converges(self):
+        square = Polygon.rectangle(0, 0, 1, 1)
+        exact = 1 / 3  # ∫∫ x^2
+        coarse = integrate_over_polygon(lambda x, y: x * x, square, subdivisions=2)
+        fine = integrate_over_polygon(lambda x, y: x * x, square, subdivisions=16)
+        assert abs(fine - exact) < abs(coarse - exact)
+        assert fine == pytest.approx(exact, abs=1e-3)
+
+    def test_hole_subtracted(self):
+        poly = Polygon(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)],
+            holes=[[Point(4, 4), Point(6, 4), Point(6, 6), Point(4, 6)]],
+        )
+        assert integrate_over_polygon(lambda x, y: 1.0, poly) == pytest.approx(96)
+
+    def test_concave_polygon(self):
+        l_poly = Polygon(
+            [
+                Point(0, 0),
+                Point(2, 0),
+                Point(2, 1),
+                Point(1, 1),
+                Point(1, 2),
+                Point(0, 2),
+            ]
+        )
+        assert integrate_over_polygon(lambda x, y: 1.0, l_poly) == pytest.approx(3)
+
+    def test_subdivision_validation(self):
+        with pytest.raises(AggregationError):
+            integrate_over_polygon(lambda x, y: 1.0, Polygon.rectangle(0, 0, 1, 1), 0)
+
+    @settings(max_examples=20)
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.floats(min_value=0.5, max_value=5),
+    )
+    def test_unit_density_equals_area_property(self, sides, radius):
+        poly = Polygon.regular(Point(0, 0), radius, sides)
+        result = integrate_over_polygon(lambda x, y: 1.0, poly)
+        assert result == pytest.approx(poly.area, rel=1e-9)
+
+
+class TestLineIntegral:
+    def test_constant_density_gives_length(self):
+        seg = Segment(Point(0, 0), Point(3, 4))
+        assert integrate_along_segment(lambda x, y: 1.0, seg) == pytest.approx(5)
+
+    def test_zero_length_segment(self):
+        seg = Segment(Point(1, 1), Point(1, 1))
+        assert integrate_along_segment(lambda x, y: 7.0, seg) == 0.0
+
+    def test_linear_density_exact(self):
+        seg = Segment(Point(0, 0), Point(1, 0))
+        # ∫ x ds over [0,1] = 0.5; midpoint rule is exact for affine h.
+        assert integrate_along_segment(lambda x, y: x, seg) == pytest.approx(0.5)
+
+    def test_polyline_sum_of_segments(self):
+        line = Polyline([Point(0, 0), Point(4, 0), Point(4, 3)])
+        assert integrate_along_polyline(lambda x, y: 1.0, line) == pytest.approx(7)
+
+    def test_samples_validation(self):
+        line = Polyline([Point(0, 0), Point(1, 0)])
+        with pytest.raises(AggregationError):
+            integrate_along_polyline(lambda x, y: 1.0, line, samples_per_segment=0)
+
+
+class TestPointSum:
+    def test_sum(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        assert sum_at_points(lambda x, y: x + y, pts) == pytest.approx(2)
+
+    def test_empty(self):
+        assert sum_at_points(lambda x, y: 1.0, []) == 0.0
+
+
+class TestCombinedAggregation:
+    def test_all_three_parts(self):
+        total = geometric_aggregation(
+            lambda x, y: 1.0,
+            polygons=[Polygon.rectangle(0, 0, 2, 2)],
+            polylines=[Polyline([Point(0, 0), Point(0, 3)])],
+            points=[Point(5, 5), Point(6, 6)],
+        )
+        # Area 4 + length 3 + 2 Dirac points of unit density.
+        assert total == pytest.approx(9)
+
+    def test_empty_region_is_zero(self):
+        assert geometric_aggregation(lambda x, y: 1.0) == 0.0
+
+
+class TestSummable:
+    def make_table(self) -> GISFactTable:
+        ft = GISFactTable(POLYGON, "Ln", ["population"])
+        ft.set("pg1", 10_000)
+        ft.set("pg2", 20_000)
+        ft.set("pg3", 30_000)
+        return ft
+
+    def test_sum(self):
+        ft = self.make_table()
+        assert summable_aggregate(["pg1", "pg3"], ft, "population") == 40_000
+
+    def test_other_functions(self):
+        ft = self.make_table()
+        ids = ["pg1", "pg2", "pg3"]
+        assert summable_aggregate(ids, ft, "population", "MAX") == 30_000
+        assert summable_aggregate(ids, ft, "population", "MIN") == 10_000
+        assert summable_aggregate(ids, ft, "population", "AVG") == 20_000
+        assert summable_aggregate(ids, ft, "population", "COUNT") == 3
+
+    def test_count_ignores_measures(self):
+        ft = self.make_table()
+        assert (
+            summable_aggregate(["pg1", "pgX"], ft, "population", "COUNT") == 2
+        )
+
+    def test_missing_fact_raises(self):
+        from repro.errors import InstanceError
+
+        ft = self.make_table()
+        with pytest.raises(InstanceError):
+            summable_aggregate(["pgX"], ft, "population")
+
+    def test_empty_sum_raises(self):
+        ft = self.make_table()
+        with pytest.raises(AggregationError):
+            summable_aggregate([], ft, "population")

@@ -1,0 +1,109 @@
+"""Tests for GIS fact tables (Definition 3)."""
+
+import pytest
+
+from repro.errors import InstanceError, SchemaError
+from repro.geometry import Point
+from repro.gis import ALL, POINT, POLYGON, BaseGISFactTable, GISFactTable
+
+
+class TestGISFactTable:
+    def test_point_level_rejected(self):
+        with pytest.raises(SchemaError):
+            GISFactTable(POINT, "L", ["m"])
+        with pytest.raises(SchemaError):
+            GISFactTable(ALL, "L", ["m"])
+
+    def test_measures_required(self):
+        with pytest.raises(SchemaError):
+            GISFactTable(POLYGON, "L", [])
+
+    def test_duplicate_measures_rejected(self):
+        with pytest.raises(SchemaError):
+            GISFactTable(POLYGON, "L", ["m", "m"])
+
+    def test_set_and_get(self):
+        ft = GISFactTable(POLYGON, "Ln", ["population", "area"])
+        ft.set("pg1", 50_000, 12.5)
+        assert ft.get("pg1") == (50_000, 12.5)
+        assert ft.get("pg1", "population") == 50_000
+        assert ft.get("pg1", "area") == 12.5
+
+    def test_wrong_arity_rejected(self):
+        ft = GISFactTable(POLYGON, "Ln", ["population", "area"])
+        with pytest.raises(InstanceError):
+            ft.set("pg1", 50_000)
+
+    def test_missing_id_raises(self):
+        ft = GISFactTable(POLYGON, "Ln", ["population"])
+        with pytest.raises(InstanceError):
+            ft.get("pg1")
+
+    def test_unknown_measure_raises(self):
+        ft = GISFactTable(POLYGON, "Ln", ["population"])
+        ft.set("pg1", 100)
+        with pytest.raises(SchemaError):
+            ft.get("pg1", "income")
+
+    def test_overwrite_allowed(self):
+        ft = GISFactTable(POLYGON, "Ln", ["population"])
+        ft.set("pg1", 100)
+        ft.set("pg1", 200)
+        assert ft.get("pg1", "population") == 200
+
+    def test_ids_len_contains(self):
+        ft = GISFactTable(POLYGON, "Ln", ["population"])
+        ft.set("pg1", 100)
+        ft.set("pg2", 200)
+        assert len(ft) == 2
+        assert ft.ids() == {"pg1", "pg2"}
+        assert "pg1" in ft and "pg3" not in ft
+
+    def test_rows(self):
+        ft = GISFactTable(POLYGON, "Ln", ["population"])
+        ft.set("pg1", 100)
+        rows = list(ft.rows())
+        assert rows == [{"id": "pg1", "population": 100}]
+
+
+class TestBaseGISFactTable:
+    def test_measures_required(self):
+        with pytest.raises(SchemaError):
+            BaseGISFactTable("L", [])
+
+    def test_duplicate_measures_rejected(self):
+        with pytest.raises(SchemaError):
+            BaseGISFactTable("L", ["t", "t"])
+
+    def test_samples(self):
+        ft = BaseGISFactTable("Ltemp", ["temperature"])
+        ft.add_sample(Point(1, 1), 25.0)
+        ft.add_sample(Point(2, 2), 26.0)
+        assert len(ft.samples()) == 2
+        point, values = ft.samples()[0]
+        assert point == Point(1, 1)
+        assert values == (25.0,)
+
+    def test_sample_arity_checked(self):
+        ft = BaseGISFactTable("Ltemp", ["temperature", "humidity"])
+        with pytest.raises(InstanceError):
+            ft.add_sample(Point(0, 0), 25.0)
+
+    def test_density_registration(self):
+        ft = BaseGISFactTable("Lpop", ["density"])
+        assert not ft.has_density("density")
+        ft.set_density("density", lambda x, y: 2.0)
+        assert ft.has_density("density")
+        assert ft.density("density")(3, 4) == 2.0
+
+    def test_density_unknown_measure(self):
+        ft = BaseGISFactTable("Lpop", ["density"])
+        with pytest.raises(SchemaError):
+            ft.set_density("other", lambda x, y: 1.0)
+        with pytest.raises(SchemaError):
+            ft.density("other")
+
+    def test_density_missing_raises(self):
+        ft = BaseGISFactTable("Lpop", ["density"])
+        with pytest.raises(InstanceError):
+            ft.density("density")

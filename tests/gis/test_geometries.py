@@ -1,0 +1,53 @@
+"""Tests for geometry-kind classification."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.geometry import Point, Polygon, Polyline, Segment
+from repro.gis import (
+    ALL,
+    LINE,
+    NODE,
+    POINT,
+    POLYGON,
+    POLYLINE,
+    expected_class,
+    kind_of,
+    validate_kind,
+)
+
+
+class TestValidation:
+    def test_known_kinds(self):
+        for kind in (POINT, NODE, LINE, POLYLINE, POLYGON, ALL):
+            assert validate_kind(kind) == kind
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SchemaError):
+            validate_kind("blob")
+
+
+class TestExpectedClass:
+    def test_stored_kinds(self):
+        assert expected_class(NODE) is Point
+        assert expected_class(LINE) is Segment
+        assert expected_class(POLYLINE) is Polyline
+        assert expected_class(POLYGON) is Polygon
+
+    def test_algebraic_kinds_raise(self):
+        with pytest.raises(SchemaError):
+            expected_class(POINT)
+        with pytest.raises(SchemaError):
+            expected_class(ALL)
+
+
+class TestKindOf:
+    def test_classify(self):
+        assert kind_of(Point(0, 0)) == NODE
+        assert kind_of(Segment(Point(0, 0), Point(1, 1))) == LINE
+        assert kind_of(Polyline([Point(0, 0), Point(1, 1)])) == POLYLINE
+        assert kind_of(Polygon.rectangle(0, 0, 1, 1)) == POLYGON
+
+    def test_unknown_object_raises(self):
+        with pytest.raises(SchemaError):
+            kind_of("pancake")

@@ -1,0 +1,96 @@
+"""Tests for the time-varying GIS fact table of Example 3."""
+
+import pytest
+
+from repro.errors import InstanceError, SchemaError
+from repro.gis import POINT, POLYGON, summable_aggregate
+from repro.gis.facts import TemporalGISFactTable
+
+
+def population_table() -> TemporalGISFactTable:
+    """Example 3: (polyId, L_neighb, Year, Population)."""
+    table = TemporalGISFactTable(POLYGON, "Ln", "year", ["population"])
+    table.set("pg_zuid", 2005, 58_000)
+    table.set("pg_zuid", 2006, 60_000)
+    table.set("pg_berchem", 2005, 39_000)
+    table.set("pg_berchem", 2006, 40_000)
+    return table
+
+
+class TestConstruction:
+    def test_point_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            TemporalGISFactTable(POINT, "Ln", "year", ["population"])
+
+    def test_level_required(self):
+        with pytest.raises(SchemaError):
+            TemporalGISFactTable(POLYGON, "Ln", "", ["population"])
+
+    def test_measures_required(self):
+        with pytest.raises(SchemaError):
+            TemporalGISFactTable(POLYGON, "Ln", "year", [])
+        with pytest.raises(SchemaError):
+            TemporalGISFactTable(POLYGON, "Ln", "year", ["m", "m"])
+
+
+class TestCells:
+    def test_set_and_get(self):
+        table = population_table()
+        assert table.get("pg_zuid", 2006) == (60_000,)
+        assert table.get("pg_zuid", 2006, "population") == 60_000
+        assert len(table) == 4
+
+    def test_arity_checked(self):
+        table = population_table()
+        with pytest.raises(InstanceError):
+            table.set("pg_zuid", 2007)
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(InstanceError):
+            population_table().get("pg_zuid", 1999)
+
+    def test_unknown_measure_raises(self):
+        with pytest.raises(SchemaError):
+            population_table().get("pg_zuid", 2006, "income")
+
+    def test_overwrite(self):
+        table = population_table()
+        table.set("pg_zuid", 2006, 61_000)
+        assert table.get("pg_zuid", 2006, "population") == 61_000
+
+
+class TestTemporalViews:
+    def test_series(self):
+        series = population_table().series("pg_zuid", "population")
+        assert series == {2005: 58_000, 2006: 60_000}
+
+    def test_series_unknown_measure(self):
+        with pytest.raises(SchemaError):
+            population_table().series("pg_zuid", "income")
+
+    def test_time_members(self):
+        assert population_table().time_members() == {2005, 2006}
+
+    def test_at_time_projection(self):
+        snapshot = population_table().at_time(2006)
+        assert snapshot.get("pg_zuid", "population") == 60_000
+        assert snapshot.ids() == {"pg_zuid", "pg_berchem"}
+
+    def test_projection_feeds_summable_rewriting(self):
+        """Slice by year, then aggregate geometrically (Section 5 style)."""
+        snapshot = population_table().at_time(2006)
+        total = summable_aggregate(
+            ["pg_zuid", "pg_berchem"], snapshot, "population", "SUM"
+        )
+        assert total == 100_000
+
+    def test_growth_across_years(self):
+        table = population_table()
+        for year_pair in [(2005, 2006)]:
+            before = table.at_time(year_pair[0])
+            after = table.at_time(year_pair[1])
+            growth = sum(
+                after.get(gid, "population") - before.get(gid, "population")
+                for gid in before.ids()
+            )
+            assert growth == 3_000

@@ -1,0 +1,125 @@
+"""Tests for Hornsby–Egenhofer lifeline beads."""
+
+import math
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.geometry import Point
+from repro.mo import Bead, Ellipse, Lifeline, TrajectorySample
+
+
+class TestEllipse:
+    def test_contains_center(self):
+        e = Ellipse(Point(0, 0), 2.0, 1.0, 0.0)
+        assert e.contains_point(Point(0, 0))
+
+    def test_contains_on_axes(self):
+        e = Ellipse(Point(0, 0), 2.0, 1.0, 0.0)
+        assert e.contains_point(Point(2, 0))
+        assert e.contains_point(Point(0, 1))
+        assert not e.contains_point(Point(0, 1.5))
+        assert not e.contains_point(Point(2.5, 0))
+
+    def test_rotated(self):
+        e = Ellipse(Point(0, 0), 2.0, 1.0, math.pi / 2)
+        assert e.contains_point(Point(0, 2))
+        assert not e.contains_point(Point(2, 0))
+
+    def test_area(self):
+        e = Ellipse(Point(0, 0), 2.0, 1.0, 0.0)
+        assert e.area == pytest.approx(2 * math.pi)
+
+
+class TestBead:
+    def test_time_order_required(self):
+        with pytest.raises(TrajectoryError):
+            Bead(5, Point(0, 0), 5, Point(1, 1), 1.0)
+
+    def test_speed_positive(self):
+        with pytest.raises(TrajectoryError):
+            Bead(0, Point(0, 0), 1, Point(0, 0), 0.0)
+
+    def test_infeasible_observations_rejected(self):
+        # 10 units apart in 1 time unit needs speed >= 10.
+        with pytest.raises(TrajectoryError):
+            Bead(0, Point(0, 0), 1, Point(10, 0), 5.0)
+
+    def test_contains_straight_line_position(self):
+        bead = Bead(0, Point(0, 0), 10, Point(10, 0), 2.0)
+        assert bead.contains(5, Point(5, 0))
+
+    def test_contains_respects_speed_bound(self):
+        bead = Bead(0, Point(0, 0), 10, Point(10, 0), 2.0)
+        # At t=5 the object can be at most 10 from either endpoint.
+        assert bead.contains(5, Point(5, 5))
+        assert not bead.contains(5, Point(5, 20))
+
+    def test_contains_outside_time_window(self):
+        bead = Bead(0, Point(0, 0), 10, Point(10, 0), 2.0)
+        assert not bead.contains(11, Point(5, 0))
+
+    def test_projection_is_ellipse_with_sample_foci(self):
+        bead = Bead(0, Point(0, 0), 10, Point(10, 0), 2.0)
+        ellipse = bead.projection()
+        assert ellipse.center == Point(5, 0)
+        assert ellipse.semi_major == pytest.approx(10.0)  # v*dt/2
+        # b^2 = a^2 - f^2 = 100 - 25.
+        assert ellipse.semi_minor == pytest.approx(math.sqrt(75))
+        assert ellipse.contains_point(Point(0, 0))
+        assert ellipse.contains_point(Point(10, 0))
+
+    def test_projection_degenerate_at_exact_speed(self):
+        bead = Bead(0, Point(0, 0), 10, Point(10, 0), 1.0)
+        ellipse = bead.projection()
+        assert ellipse.semi_minor == pytest.approx(0.0)
+        assert ellipse.contains_point(Point(5, 0))
+
+    def test_possible_at(self):
+        bead = Bead(0, Point(0, 0), 10, Point(10, 0), 2.0)
+        c1, r1, c2, r2 = bead.possible_at(2)
+        assert (c1, c2) == (Point(0, 0), Point(10, 0))
+        assert r1 == pytest.approx(4.0)
+        assert r2 == pytest.approx(16.0)
+        with pytest.raises(TrajectoryError):
+            bead.possible_at(11)
+
+
+class TestLifeline:
+    def sample(self) -> TrajectorySample:
+        return TrajectorySample([(0, 0.0, 0.0), (10, 10.0, 0.0), (20, 10.0, 10.0)])
+
+    def test_needs_two_observations(self):
+        with pytest.raises(TrajectoryError):
+            Lifeline(TrajectorySample([(0, 0, 0)]), 2.0)
+
+    def test_bead_count(self):
+        lifeline = Lifeline(self.sample(), 2.0)
+        assert len(lifeline) == 2
+
+    def test_bead_at(self):
+        lifeline = Lifeline(self.sample(), 2.0)
+        assert lifeline.bead_at(5).t2 == 10
+        assert lifeline.bead_at(15).t1 == 10
+        with pytest.raises(TrajectoryError):
+            lifeline.bead_at(25)
+
+    def test_contains(self):
+        lifeline = Lifeline(self.sample(), 2.0)
+        assert lifeline.contains(5, Point(5, 0))
+        assert not lifeline.contains(5, Point(50, 0))
+        assert not lifeline.contains(25, Point(10, 10))
+
+    def test_could_have_visited(self):
+        lifeline = Lifeline(self.sample(), 2.0)
+        assert lifeline.could_have_visited(Point(5, 3))
+        assert not lifeline.could_have_visited(Point(-50, -50))
+
+    def test_footprint_area_positive(self):
+        lifeline = Lifeline(self.sample(), 2.0)
+        assert lifeline.footprint_area() > 0
+
+    def test_tighter_speed_smaller_footprint(self):
+        loose = Lifeline(self.sample(), 3.0)
+        tight = Lifeline(self.sample(), 1.5)
+        assert tight.footprint_area() < loose.footprint_area()

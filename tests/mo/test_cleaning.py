@@ -1,0 +1,127 @@
+"""Tests for trajectory-sample cleaning."""
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.mo import MOFT, TrajectorySample
+from repro.mo.cleaning import (
+    clean_moft,
+    drop_stationary_noise,
+    remove_speed_outliers,
+    resample_uniform,
+)
+
+
+def jittery_parked() -> TrajectorySample:
+    """A parked vehicle jittering within ~0.1 units."""
+    return TrajectorySample(
+        [
+            (0, 10.00, 10.00),
+            (1, 10.05, 9.98),
+            (2, 9.97, 10.03),
+            (3, 10.02, 10.01),
+            (4, 15.00, 10.00),  # actually drives away
+        ]
+    )
+
+
+def gps_jump() -> TrajectorySample:
+    """A walk with one multipath jump at t=2."""
+    return TrajectorySample(
+        [
+            (0, 0.0, 0.0),
+            (1, 1.0, 0.0),
+            (2, 500.0, 500.0),  # impossible at walking speed
+            (3, 3.0, 0.0),
+            (4, 4.0, 0.0),
+        ]
+    )
+
+
+class TestDropStationaryNoise:
+    def test_collapses_jitter(self):
+        cleaned = drop_stationary_noise(jittery_parked(), min_distance=0.5)
+        assert len(cleaned) == 2  # first fix + final departure
+        assert cleaned[0][0] == 0
+        assert cleaned[-1][0] == 4
+
+    def test_preserves_movement(self):
+        moving = TrajectorySample([(0, 0.0, 0.0), (1, 5.0, 0.0), (2, 10.0, 0.0)])
+        cleaned = drop_stationary_noise(moving, min_distance=1.0)
+        assert len(cleaned) == 3
+
+    def test_zero_threshold_keeps_everything(self):
+        sample = jittery_parked()
+        assert len(drop_stationary_noise(sample, 0.0)) == len(sample)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(TrajectoryError):
+            drop_stationary_noise(jittery_parked(), -1.0)
+
+    def test_single_fix(self):
+        single = TrajectorySample([(0, 1.0, 1.0)])
+        assert len(drop_stationary_noise(single, 1.0)) == 1
+
+
+class TestRemoveSpeedOutliers:
+    def test_drops_jump(self):
+        cleaned = remove_speed_outliers(gps_jump(), max_speed=2.0)
+        assert [t for t, _, _ in cleaned] == [0, 1, 3, 4]
+
+    def test_keeps_legal_motion(self):
+        sample = TrajectorySample([(0, 0.0, 0.0), (1, 1.5, 0.0), (2, 3.0, 0.0)])
+        assert len(remove_speed_outliers(sample, max_speed=2.0)) == 3
+
+    def test_speed_must_be_positive(self):
+        with pytest.raises(TrajectoryError):
+            remove_speed_outliers(gps_jump(), 0.0)
+
+    def test_after_cleaning_speed_bound_holds(self):
+        cleaned = remove_speed_outliers(gps_jump(), max_speed=2.0)
+        points = list(cleaned)
+        for (t0, x0, y0), (t1, x1, y1) in zip(points, points[1:]):
+            dist = ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5
+            assert dist <= 2.0 * (t1 - t0) * (1 + 1e-9)
+
+
+class TestResampleUniform:
+    def test_shape_and_domain(self):
+        sample = TrajectorySample([(0, 0.0, 0.0), (4, 8.0, 0.0)])
+        resampled = resample_uniform(sample, 5)
+        assert len(resampled) == 5
+        assert resampled.times == [0, 1, 2, 3, 4]
+        assert resampled[2][1] == pytest.approx(4.0)
+
+    def test_validation(self):
+        sample = TrajectorySample([(0, 0.0, 0.0), (4, 8.0, 0.0)])
+        with pytest.raises(TrajectoryError):
+            resample_uniform(sample, 1)
+        with pytest.raises(TrajectoryError):
+            resample_uniform(TrajectorySample([(0, 0.0, 0.0)]), 4)
+
+
+class TestCleanMoft:
+    def test_per_object_cleaning(self):
+        moft = MOFT("dirty")
+        for t, x, y in gps_jump():
+            moft.add("walker", t, x, y)
+        moft.add("lonely", 0, 5.0, 5.0)
+        cleaned = clean_moft(moft, max_speed=2.0)
+        assert cleaned.name == "dirty"
+        assert cleaned.sample_count("walker") == 4
+        assert cleaned.sample_count("lonely") == 1
+
+    def test_with_jitter_collapse(self):
+        moft = MOFT()
+        for t, x, y in jittery_parked():
+            moft.add("parked", t, x, y)
+        cleaned = clean_moft(moft, max_speed=100.0, min_distance=0.5)
+        assert cleaned.sample_count("parked") == 2
+
+    def test_original_untouched(self):
+        moft = MOFT()
+        for t, x, y in gps_jump():
+            moft.add("walker", t, x, y)
+        before = len(moft)
+        clean_moft(moft, max_speed=2.0)
+        assert len(moft) == before

@@ -1,0 +1,134 @@
+"""Tests for trajectory aggregation by spatial units (FlowGrid)."""
+
+import pytest
+
+from repro.errors import GeometryError, TrajectoryError
+from repro.geometry import BoundingBox, Point
+from repro.mo import MOFT
+from repro.mo.flow import FlowGrid, flow_grid_for_moft
+
+BOX = BoundingBox(0, 0, 100, 100)
+
+
+def horizontal_crosser(oid: str, y: float, n_samples: int) -> list:
+    return [
+        (oid, t, 100.0 * t / (n_samples - 1), y) for t in range(n_samples)
+    ]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            FlowGrid(BOX, cols=0)
+        with pytest.raises(GeometryError):
+            FlowGrid(BoundingBox(0, 0, 0, 10), 4, 4)
+
+    def test_cell_addressing(self):
+        grid = FlowGrid(BOX, 10, 10)
+        assert grid.cell_of(Point(5, 5)) == (0, 0)
+        assert grid.cell_of(Point(95, 95)) == (9, 9)
+        assert grid.cell_of(Point(100, 100)) == (9, 9)  # clamped edge
+        assert grid.cell_of(Point(500, 5)) is None
+
+    def test_cell_center_roundtrip(self):
+        grid = FlowGrid(BOX, 10, 10)
+        for cell in [(0, 0), (4, 7), (9, 9)]:
+            assert grid.cell_of(grid.cell_center(cell)) == cell
+
+
+class TestAccumulation:
+    def test_empty_history_rejected(self):
+        grid = FlowGrid(BOX, 4, 4)
+        with pytest.raises(TrajectoryError):
+            grid.add_object([])
+
+    def test_single_sample_counts_once(self):
+        grid = FlowGrid(BOX, 4, 4)
+        grid.add_object([(0, 10.0, 10.0)])
+        assert grid.count((0, 0)) == 1
+        assert grid.objects_seen == 1
+
+    def test_full_crossing_touches_every_column(self):
+        grid = FlowGrid(BOX, 10, 10)
+        moft = MOFT()
+        moft.add_many(horizontal_crosser("a", 5.0, 2))
+        grid.add_moft(moft)
+        for col in range(10):
+            assert grid.count((col, 0)) == 1
+
+    def test_sampling_rate_insensitive(self):
+        """The core Meratnia–de By claim: a trajectory's cell counts do not
+        depend on how densely it was sampled."""
+        sparse = FlowGrid(BOX, 10, 10)
+        dense = FlowGrid(BOX, 10, 10)
+        sparse_moft = MOFT()
+        sparse_moft.add_many(horizontal_crosser("a", 5.0, 2))
+        dense_moft = MOFT()
+        dense_moft.add_many(horizontal_crosser("a", 5.0, 51))
+        sparse.add_moft(sparse_moft)
+        dense.add_moft(dense_moft)
+        assert sparse.counts() == dense.counts()
+
+    def test_object_counted_once_per_cell(self):
+        """Loitering inside one cell still counts a single pass."""
+        grid = FlowGrid(BOX, 4, 4)
+        history = [(t, 10.0 + (t % 3), 10.0) for t in range(20)]
+        grid.add_object(history)
+        assert grid.count((0, 0)) == 1
+
+    def test_two_objects_accumulate(self):
+        grid = FlowGrid(BOX, 10, 10)
+        moft = MOFT()
+        moft.add_many(horizontal_crosser("a", 5.0, 3))
+        moft.add_many(horizontal_crosser("b", 5.0, 7))
+        grid.add_moft(moft)
+        assert grid.count((5, 0)) == 2
+        assert grid.objects_seen == 2
+
+    def test_outside_extent_ignored(self):
+        grid = FlowGrid(BOX, 4, 4)
+        grid.add_object([(0, -50.0, -50.0), (1, -60.0, -60.0)])
+        assert grid.counts() == {}
+        assert grid.objects_seen == 1
+
+
+class TestReadout:
+    def corridor_grid(self) -> FlowGrid:
+        grid = FlowGrid(BOX, 10, 10)
+        moft = MOFT()
+        for i, y in enumerate((4.0, 5.0, 6.0, 55.0)):
+            moft.add_many(horizontal_crosser(f"o{i}", y, 4))
+        grid.add_moft(moft)
+        return grid
+
+    def test_hottest_cells_in_corridor(self):
+        grid = self.corridor_grid()
+        hottest = grid.hottest_cells(3)
+        for cell, count in hottest:
+            assert cell[1] == 0  # the y<10 corridor row
+            assert count == 3
+
+    def test_aggregated_trajectory_follows_corridor(self):
+        grid = self.corridor_grid()
+        path = grid.aggregated_trajectory()
+        assert len(path) >= 5
+        assert all(p.y == pytest.approx(5.0) for p in path)
+        xs = [p.x for p in path]
+        assert xs == sorted(xs)  # west-to-east, the flow direction
+
+    def test_aggregated_trajectory_empty_grid(self):
+        assert FlowGrid(BOX, 4, 4).aggregated_trajectory() == []
+
+    def test_flow_grid_for_moft_helper(self):
+        moft = MOFT()
+        moft.add_many(horizontal_crosser("a", 5.0, 4))
+        grid = flow_grid_for_moft(moft, 8, 8)
+        assert grid.objects_seen == 1
+        assert sum(grid.counts().values()) > 0
+
+    def test_flow_grid_degenerate_extent(self):
+        moft = MOFT()
+        moft.add("still", 0, 5.0, 5.0)
+        moft.add("still", 1, 5.0, 5.0)
+        grid = flow_grid_for_moft(moft)
+        assert grid.objects_seen == 1

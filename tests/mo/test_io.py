@@ -1,0 +1,65 @@
+"""Tests for MOFT CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.mo import MOFT
+from repro.mo.io import from_csv_text, read_csv, to_csv_text, write_csv
+from repro.synth import table1_moft
+
+
+class TestRoundtrip:
+    def test_table1_roundtrip(self):
+        original = table1_moft()
+        text = to_csv_text(original)
+        parsed = from_csv_text(text, name="FMbus")
+        assert list(parsed.tuples()) == list(original.tuples())
+        assert parsed.name == "FMbus"
+
+    def test_header_written(self):
+        text = to_csv_text(table1_moft())
+        assert text.splitlines()[0] == "oid,t,x,y"
+
+    def test_row_count_returned(self):
+        buffer = io.StringIO()
+        assert write_csv(table1_moft(), buffer) == 12
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "moft.csv"
+        write_csv(table1_moft(), path)
+        parsed = read_csv(path)
+        assert len(parsed) == 12
+
+
+class TestParsing:
+    def test_column_order_flexible(self):
+        text = "x,y,oid,t\n1.0,2.0,O1,5\n"
+        moft = from_csv_text(text)
+        assert list(moft.tuples()) == [("O1", 5.0, 1.0, 2.0)]
+
+    def test_blank_lines_skipped(self):
+        text = "oid,t,x,y\nO1,1,0,0\n\nO1,2,1,1\n"
+        assert len(from_csv_text(text)) == 2
+
+    def test_empty_file_raises(self):
+        with pytest.raises(TrajectoryError):
+            from_csv_text("")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(TrajectoryError):
+            from_csv_text("oid,t,x\nO1,1,0\n")
+
+    def test_malformed_row_raises(self):
+        with pytest.raises(TrajectoryError, match="row 2"):
+            from_csv_text("oid,t,x,y\nO1,abc,0,0\n")
+
+    def test_duplicate_sample_raises(self):
+        text = "oid,t,x,y\nO1,1,0,0\nO1,1,5,5\n"
+        with pytest.raises(TrajectoryError):
+            from_csv_text(text)
+
+    def test_header_case_insensitive(self):
+        text = "OID,T,X,Y\nO1,1,0,0\n"
+        assert len(from_csv_text(text)) == 1

@@ -1,0 +1,132 @@
+"""Tests for the Moving Object Fact Table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.geometry import Point
+from repro.mo import MOFT, TrajectorySample
+
+
+def small_moft() -> MOFT:
+    moft = MOFT("FMbus")
+    moft.add_many(
+        [
+            ("O1", 1, 0.0, 0.0),
+            ("O1", 2, 1.0, 0.0),
+            ("O1", 3, 2.0, 0.0),
+            ("O2", 2, 5.0, 5.0),
+            ("O2", 3, 6.0, 5.0),
+        ]
+    )
+    return moft
+
+
+class TestLoading:
+    def test_len_and_objects(self):
+        moft = small_moft()
+        assert len(moft) == 5
+        assert moft.objects() == {"O1", "O2"}
+
+    def test_duplicate_instant_rejected(self):
+        moft = small_moft()
+        with pytest.raises(TrajectoryError):
+            moft.add("O1", 2, 9.0, 9.0)
+
+    def test_same_instant_different_objects_ok(self):
+        moft = small_moft()
+        moft.add("O3", 2, 0.0, 0.0)
+        assert moft.sample_count("O3") == 1
+
+    def test_instants(self):
+        assert small_moft().instants() == {1, 2, 3}
+
+    def test_sample_count(self):
+        moft = small_moft()
+        assert moft.sample_count("O1") == 3
+        assert moft.sample_count("O9") == 0
+
+
+class TestAccess:
+    def test_rows(self):
+        rows = list(small_moft().rows())
+        assert rows[0] == {"oid": "O1", "t": 1.0, "x": 0.0, "y": 0.0}
+
+    def test_tuples(self):
+        tuples = list(small_moft().tuples())
+        assert tuples[0] == ("O1", 1.0, 0.0, 0.0)
+
+    def test_history_sorted(self):
+        moft = MOFT()
+        moft.add("O1", 3, 2.0, 0.0)
+        moft.add("O1", 1, 0.0, 0.0)
+        moft.add("O1", 2, 1.0, 0.0)
+        assert [t for t, _, _ in moft.history("O1")] == [1, 2, 3]
+
+    def test_history_unknown_object(self):
+        with pytest.raises(TrajectoryError):
+            small_moft().history("O9")
+
+    def test_trajectory_sample(self):
+        sample = small_moft().trajectory_sample("O1")
+        assert isinstance(sample, TrajectorySample)
+        assert len(sample) == 3
+
+    def test_position(self):
+        moft = small_moft()
+        assert moft.position("O1", 2) == Point(1.0, 0.0)
+        assert moft.position("O1", 99) is None
+
+
+class TestColumnar:
+    def test_as_arrays(self):
+        t, x, y = small_moft().as_arrays()
+        assert isinstance(t, np.ndarray)
+        assert t.shape == (5,)
+        assert x[0] == 0.0
+
+    def test_arrays_cached_and_invalidated(self):
+        moft = small_moft()
+        t1, _, _ = moft.as_arrays()
+        t2, _, _ = moft.as_arrays()
+        assert t1 is t2
+        moft.add("O3", 1, 0.0, 0.0)
+        t3, _, _ = moft.as_arrays()
+        assert t3.shape == (6,)
+
+    def test_object_mask(self):
+        moft = small_moft()
+        mask = moft.object_mask("O1")
+        assert mask.sum() == 3
+        t, _, _ = moft.as_arrays()
+        assert set(t[mask]) == {1.0, 2.0, 3.0}
+
+
+class TestRestriction:
+    def test_filter(self):
+        late = small_moft().filter(lambda row: row["t"] >= 3)
+        assert len(late) == 2
+
+    def test_restrict_instants(self):
+        morning = small_moft().restrict_instants({2, 3})
+        assert len(morning) == 4
+        assert morning.instants() == {2, 3}
+
+    def test_restrict_objects(self):
+        only_o1 = small_moft().restrict_objects({"O1"})
+        assert only_o1.objects() == {"O1"}
+
+    def test_time_range(self):
+        assert small_moft().time_range() == (1.0, 3.0)
+
+    def test_time_range_empty_raises(self):
+        with pytest.raises(TrajectoryError):
+            MOFT().time_range()
+
+    def test_bbox(self):
+        box = small_moft().bbox()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 6, 5)
+
+    def test_bbox_empty_raises(self):
+        with pytest.raises(TrajectoryError):
+            MOFT().bbox()

@@ -1,0 +1,146 @@
+"""Property-based tests on MOFT invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Polygon
+from repro.mo import (
+    MOFT,
+    LinearInterpolationTrajectory,
+    TrajectorySample,
+    intervals_inside,
+    time_inside,
+)
+
+sample_tuples = st.lists(
+    st.tuples(
+        st.sampled_from(["A", "B", "C"]),
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=-50, max_value=50),
+    ),
+    min_size=1,
+    max_size=40,
+    unique_by=lambda item: (item[0], item[1]),
+)
+
+
+def build_moft(tuples):
+    moft = MOFT()
+    moft.add_many(tuples)
+    return moft
+
+
+class TestMOFTInvariants:
+    @given(sample_tuples)
+    def test_row_count_preserved(self, tuples):
+        moft = build_moft(tuples)
+        assert len(moft) == len(tuples)
+        assert len(list(moft.rows())) == len(tuples)
+
+    @given(sample_tuples)
+    def test_columnar_matches_rows(self, tuples):
+        moft = build_moft(tuples)
+        t, x, y = moft.as_arrays()
+        for i, row in enumerate(moft.rows()):
+            assert t[i] == row["t"]
+            assert x[i] == row["x"]
+            assert y[i] == row["y"]
+
+    @given(sample_tuples)
+    def test_object_masks_partition_rows(self, tuples):
+        moft = build_moft(tuples)
+        total = sum(moft.object_mask(oid).sum() for oid in moft.objects())
+        assert total == len(moft)
+
+    @given(sample_tuples)
+    def test_histories_sorted_and_complete(self, tuples):
+        moft = build_moft(tuples)
+        for oid in moft.objects():
+            history = moft.history(oid)
+            times = [t for t, _, _ in history]
+            assert times == sorted(times)
+            assert len(history) == moft.sample_count(oid)
+
+    @given(sample_tuples, st.integers(min_value=0, max_value=30))
+    def test_restrict_instants_is_filter(self, tuples, cutoff):
+        moft = build_moft(tuples)
+        wanted = {float(t) for t in range(cutoff + 1)}
+        restricted = moft.restrict_instants(wanted)
+        expected = [row for row in moft.rows() if row["t"] in wanted]
+        assert len(restricted) == len(expected)
+        assert restricted.instants() <= wanted
+
+    @given(sample_tuples)
+    def test_restrict_objects_roundtrip(self, tuples):
+        moft = build_moft(tuples)
+        all_objects = moft.objects()
+        assert len(moft.restrict_objects(all_objects)) == len(moft)
+        assert len(moft.restrict_objects(set())) == 0
+
+    @given(sample_tuples)
+    def test_bbox_covers_all_samples(self, tuples):
+        moft = build_moft(tuples)
+        box = moft.bbox()
+        for row in moft.rows():
+            assert box.contains_point(Point(row["x"], row["y"]))
+
+
+class TestTrajectoryInvariants:
+    multi_samples = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=-50, max_value=50),
+            st.floats(min_value=-50, max_value=50),
+        ),
+        min_size=2,
+        max_size=15,
+        unique_by=lambda item: item[0],
+    ).map(lambda pts: TrajectorySample(sorted(pts)))
+
+    @given(multi_samples)
+    def test_lit_length_at_least_displacement(self, sample):
+        lit = LinearInterpolationTrajectory(sample)
+        displacement = sample.positions[0].distance_to(sample.positions[-1])
+        assert lit.length >= displacement - 1e-9
+
+    @given(multi_samples)
+    def test_time_inside_bounded_by_duration(self, sample):
+        lit = LinearInterpolationTrajectory(sample)
+        region = Polygon.rectangle(-20, -20, 20, 20)
+        inside = time_inside(lit, region)
+        assert -1e-9 <= inside <= sample.duration + 1e-9
+
+    @given(multi_samples)
+    def test_intervals_are_disjoint_and_ordered(self, sample):
+        lit = LinearInterpolationTrajectory(sample)
+        region = Polygon.rectangle(-20, -20, 20, 20)
+        intervals = intervals_inside(lit, region)
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            assert a1 < b0 + 1e-12
+        for lo, hi in intervals:
+            assert lo <= hi
+
+    @given(multi_samples)
+    def test_piece_speeds_nonnegative_finite(self, sample):
+        lit = LinearInterpolationTrajectory(sample)
+        for index in range(len(sample) - 1):
+            speed = lit.speed_on_piece(index)
+            assert speed >= 0
+            assert math.isfinite(speed)
+
+    @given(multi_samples, st.floats(min_value=0, max_value=1))
+    def test_position_continuous_in_time(self, sample, fraction):
+        """Positions at nearby instants are close (Lipschitz by max speed)."""
+        lit = LinearInterpolationTrajectory(sample)
+        lo, hi = lit.time_domain
+        t = lo + (hi - lo) * fraction
+        eps = (hi - lo) * 1e-6
+        t2 = min(t + eps, hi)
+        max_speed = max(
+            lit.speed_on_piece(i) for i in range(len(sample) - 1)
+        )
+        dist = lit.position(t).distance_to(lit.position(t2))
+        assert dist <= max_speed * (t2 - t) + 1e-6

@@ -1,0 +1,148 @@
+"""Tests for the moving-region extension (sliced representation of [16])."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TrajectoryError
+from repro.geometry import Point, Polygon
+from repro.mo import MOFT
+from repro.mo.movingregion import MovingRegion
+
+
+def growing_square() -> MovingRegion:
+    """A square growing from 2x2 at t=0 to 6x6 at t=10, centered at (5,5)."""
+    return MovingRegion(
+        [
+            (0, Polygon.rectangle(4, 4, 6, 6)),
+            (10, Polygon.rectangle(2, 2, 8, 8)),
+        ]
+    )
+
+
+def drifting_square() -> MovingRegion:
+    """A 2x2 square drifting right by 10 units over 10 time units."""
+    return MovingRegion(
+        [
+            (0, Polygon.rectangle(0, 0, 2, 2)),
+            (10, Polygon.rectangle(10, 0, 12, 2)),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_needs_snapshots(self):
+        with pytest.raises(TrajectoryError):
+            MovingRegion([])
+
+    def test_strictly_increasing_times(self):
+        square = Polygon.rectangle(0, 0, 1, 1)
+        with pytest.raises(TrajectoryError):
+            MovingRegion([(0, square), (0, square)])
+
+    def test_unsorted_input_accepted(self):
+        square = Polygon.rectangle(0, 0, 1, 1)
+        bigger = Polygon.rectangle(0, 0, 2, 2)
+        region = MovingRegion([(10, bigger), (0, square)])
+        assert region.snapshot_times() == [0, 10]
+
+    def test_holes_rejected(self):
+        holed = Polygon(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)],
+            holes=[[Point(4, 4), Point(6, 4), Point(6, 6), Point(4, 6)]],
+        )
+        with pytest.raises(TrajectoryError):
+            MovingRegion([(0, holed)])
+
+    def test_len_and_domain(self):
+        region = growing_square()
+        assert len(region) == 2
+        assert region.time_domain == (0, 10)
+        assert region.covers(5)
+        assert not region.covers(11)
+
+
+class TestInterpolation:
+    def test_snapshot_instants_exact(self):
+        region = growing_square()
+        assert region.polygon_at(0).area == pytest.approx(4)
+        assert region.polygon_at(10).area == pytest.approx(36)
+
+    def test_midpoint_area_between(self):
+        region = growing_square()
+        area = region.area_at(5)
+        assert 4 < area < 36
+        # Linear vertex interpolation of concentric squares gives the 4x4.
+        assert area == pytest.approx(16, rel=0.05)
+
+    def test_outside_domain_raises(self):
+        with pytest.raises(TrajectoryError):
+            growing_square().polygon_at(-1)
+        with pytest.raises(TrajectoryError):
+            growing_square().polygon_at(10.5)
+
+    def test_drift_moves_centroid(self):
+        region = drifting_square()
+        c0 = region.polygon_at(0).centroid
+        c5 = region.polygon_at(5).centroid
+        c10 = region.polygon_at(10).centroid
+        assert c0.x == pytest.approx(1)
+        assert c5.x == pytest.approx(6, rel=0.05)
+        assert c10.x == pytest.approx(11)
+
+    def test_orientation_mismatch_normalized(self):
+        ccw = Polygon.rectangle(0, 0, 2, 2)
+        cw = Polygon([Point(0, 0), Point(0, 2), Point(2, 2), Point(2, 0)])
+        region = MovingRegion([(0, ccw), (10, cw)])
+        # Interpolating a ring with its own reversal must not collapse.
+        assert region.area_at(5) == pytest.approx(4, rel=0.15)
+
+    def test_single_snapshot_is_static(self):
+        square = Polygon.rectangle(0, 0, 2, 2)
+        region = MovingRegion([(3, square)])
+        assert region.polygon_at(3).area == pytest.approx(4)
+        assert region.time_domain == (3, 3)
+
+    @given(st.floats(min_value=0, max_value=10))
+    def test_area_monotone_for_growing_square(self, t):
+        region = growing_square()
+        area = region.area_at(t)
+        assert 4 - 1e-6 <= area <= 36 + 1e-6
+
+
+class TestContainment:
+    def test_contains_follows_growth(self):
+        region = growing_square()
+        probe = Point(3, 5)  # inside only once the square has grown
+        assert not region.contains(0, probe)
+        assert region.contains(10, probe)
+
+    def test_moving_away(self):
+        region = drifting_square()
+        probe = Point(1, 1)
+        assert region.contains(0, probe)
+        assert not region.contains(10, probe)
+
+
+class TestMOFTIntegration:
+    def test_samples_inside_at_own_instants(self):
+        region = drifting_square()
+        moft = MOFT()
+        moft.add_many(
+            [
+                # In the square at t=0 but the square has left by t=10.
+                ("stay", 0, 1.0, 1.0),
+                ("stay", 10, 1.0, 1.0),
+                # Meets the square exactly where it arrives.
+                ("meet", 10, 11.0, 1.0),
+                # Never coincides.
+                ("miss", 5, 50.0, 50.0),
+            ]
+        )
+        matches = region.samples_inside(moft)
+        assert set(matches) == {("stay", 0.0), ("meet", 10.0)}
+
+    def test_samples_outside_domain_ignored(self):
+        region = drifting_square()
+        moft = MOFT()
+        moft.add("late", 99, 1.0, 1.0)
+        assert region.samples_inside(moft) == []

@@ -1,0 +1,211 @@
+"""Tests for trajectory–region operations."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TrajectoryError
+from repro.geometry import Point, Polygon
+from repro.mo import (
+    LinearInterpolationTrajectory,
+    TrajectorySample,
+    distance_at,
+    ever_within_distance,
+    first_entry_time,
+    intervals_inside,
+    intervals_within_distance,
+    minimum_distance,
+    passes_through,
+    sample_instants_inside,
+    stays_within,
+    time_inside,
+    time_within_distance,
+)
+
+SQUARE = Polygon.rectangle(0, 0, 10, 10)
+
+
+def lit(points) -> LinearInterpolationTrajectory:
+    return LinearInterpolationTrajectory(TrajectorySample(points))
+
+
+class TestSampleSemantics:
+    def test_counts_only_sampled_positions(self):
+        sample = TrajectorySample(
+            [(0, -5.0, 5.0), (1, 5.0, 5.0), (2, 15.0, 5.0)]
+        )
+        assert sample_instants_inside(sample, SQUARE) == [1]
+
+    def test_o6_effect_missed_by_samples(self):
+        # The object crosses the square between samples but is never
+        # sampled inside — sample semantics sees nothing (paper's O6).
+        sample = TrajectorySample([(0, -5.0, 5.0), (1, 15.0, 5.0)])
+        assert sample_instants_inside(sample, SQUARE) == []
+        assert passes_through(
+            LinearInterpolationTrajectory(sample), SQUARE
+        )
+
+    def test_boundary_sample_counts(self):
+        sample = TrajectorySample([(0, 0.0, 5.0)])
+        assert sample_instants_inside(sample, SQUARE) == [0]
+
+
+class TestIntervalsInside:
+    def test_simple_crossing(self):
+        # Crosses x=0 at t=2.5 and x=10 at t=7.5.
+        traj = lit([(0, -5.0, 5.0), (10, 15.0, 5.0)])
+        intervals = intervals_inside(traj, SQUARE)
+        assert len(intervals) == 1
+        lo, hi = intervals[0]
+        assert lo == pytest.approx(2.5)
+        assert hi == pytest.approx(7.5)
+        assert time_inside(traj, SQUARE) == pytest.approx(5.0)
+
+    def test_merged_across_pieces(self):
+        traj = lit([(0, 2.0, 5.0), (5, 8.0, 5.0), (10, 2.0, 5.0)])
+        intervals = intervals_inside(traj, SQUARE)
+        assert intervals == [(0.0, 10.0)]
+
+    def test_in_and_out_twice(self):
+        traj = lit(
+            [
+                (0, -5.0, 5.0),
+                (10, 5.0, 5.0),
+                (20, -5.0, 5.0),
+                (30, 5.0, 5.0),
+            ]
+        )
+        intervals = intervals_inside(traj, SQUARE)
+        assert len(intervals) == 2
+        assert intervals[0][0] == pytest.approx(5.0)
+        assert intervals[0][1] == pytest.approx(15.0)
+        assert intervals[1][0] == pytest.approx(25.0)
+        assert intervals[1][1] == pytest.approx(30.0)
+        assert time_inside(traj, SQUARE) == pytest.approx(15.0)
+
+    def test_never_inside(self):
+        traj = lit([(0, 20.0, 20.0), (5, 30.0, 30.0)])
+        assert intervals_inside(traj, SQUARE) == []
+        assert time_inside(traj, SQUARE) == 0.0
+        assert not passes_through(traj, SQUARE)
+
+    def test_entirely_inside(self):
+        traj = lit([(0, 2.0, 2.0), (8, 8.0, 8.0)])
+        assert intervals_inside(traj, SQUARE) == [(0.0, 8.0)]
+        assert stays_within(traj, SQUARE)
+
+    def test_stays_within_false_on_exit(self):
+        traj = lit([(0, 2.0, 2.0), (8, 18.0, 2.0)])
+        assert not stays_within(traj, SQUARE)
+
+    def test_first_entry(self):
+        traj = lit([(0, -5.0, 5.0), (10, 15.0, 5.0)])
+        assert first_entry_time(traj, SQUARE) == pytest.approx(2.5)
+
+    def test_first_entry_never_raises(self):
+        traj = lit([(0, 20.0, 20.0), (5, 30.0, 30.0)])
+        with pytest.raises(TrajectoryError):
+            first_entry_time(traj, SQUARE)
+
+    def test_nonuniform_time_scaling(self):
+        # Same path, time runs 10x slower on the second piece.
+        traj = lit([(0, -10.0, 5.0), (1, 0.0, 5.0), (101, 10.0, 5.0)])
+        assert time_inside(traj, SQUARE) == pytest.approx(100.0)
+
+    @given(st.floats(min_value=-20, max_value=20), st.floats(min_value=-20, max_value=20))
+    def test_time_inside_never_exceeds_duration(self, x0, x1):
+        traj = lit([(0, x0, 5.0), (7, x1, 5.0)])
+        assert 0 <= time_inside(traj, SQUARE) <= 7 + 1e-9
+
+
+class TestWithinDistance:
+    CENTER = Point(0, 0)
+
+    def test_pass_through_disk(self):
+        # Straight through the center at unit speed.
+        traj = lit([(0, -10.0, 0.0), (20, 10.0, 0.0)])
+        intervals = intervals_within_distance(traj, self.CENTER, 5.0)
+        assert len(intervals) == 1
+        lo, hi = intervals[0]
+        assert lo == pytest.approx(5.0)
+        assert hi == pytest.approx(15.0)
+        assert time_within_distance(traj, self.CENTER, 5.0) == pytest.approx(10.0)
+
+    def test_chord_crossing(self):
+        # Line y=3 crosses the radius-5 circle over x in [-4, 4].
+        traj = lit([(0, -10.0, 3.0), (20, 10.0, 3.0)])
+        total = time_within_distance(traj, self.CENTER, 5.0)
+        assert total == pytest.approx(8.0)
+
+    def test_never_close(self):
+        traj = lit([(0, -10.0, 9.0), (20, 10.0, 9.0)])
+        assert intervals_within_distance(traj, self.CENTER, 5.0) == []
+        assert not ever_within_distance(traj, self.CENTER, 5.0)
+
+    def test_tangent_touch(self):
+        traj = lit([(0, -10.0, 5.0), (20, 10.0, 5.0)])
+        intervals = intervals_within_distance(traj, self.CENTER, 5.0)
+        assert len(intervals) == 1
+        lo, hi = intervals[0]
+        assert lo == pytest.approx(hi, abs=1e-6)
+
+    def test_stationary_inside(self):
+        traj = lit([(0, 1.0, 1.0), (5, 1.0, 1.0)])
+        assert time_within_distance(traj, self.CENTER, 5.0) == pytest.approx(5.0)
+
+    def test_stationary_outside(self):
+        traj = lit([(0, 10.0, 10.0), (5, 10.0, 10.0)])
+        assert time_within_distance(traj, self.CENTER, 5.0) == 0.0
+
+    def test_negative_radius_rejected(self):
+        traj = lit([(0, 0.0, 0.0), (1, 1.0, 1.0)])
+        with pytest.raises(TrajectoryError):
+            intervals_within_distance(traj, self.CENTER, -1.0)
+
+    def test_starts_inside_disk(self):
+        traj = lit([(0, 0.0, 0.0), (10, 20.0, 0.0)])
+        intervals = intervals_within_distance(traj, self.CENTER, 5.0)
+        assert intervals[0][0] == pytest.approx(0.0)
+        assert intervals[0][1] == pytest.approx(2.5)
+
+
+class TestPairwiseDistance:
+    def test_distance_at(self):
+        a = lit([(0, 0.0, 0.0), (10, 10.0, 0.0)])
+        b = lit([(0, 0.0, 5.0), (10, 10.0, 5.0)])
+        assert distance_at(a, b, 5) == pytest.approx(5.0)
+
+    def test_minimum_distance_crossing(self):
+        a = lit([(0, -10.0, 0.0), (20, 10.0, 0.0)])
+        b = lit([(0, 0.0, -10.0), (20, 0.0, 10.0)])
+        dist, t = minimum_distance(a, b)
+        assert dist == pytest.approx(0.0, abs=1e-9)
+        assert t == pytest.approx(10.0)
+
+    def test_minimum_distance_parallel(self):
+        a = lit([(0, 0.0, 0.0), (10, 10.0, 0.0)])
+        b = lit([(0, 0.0, 3.0), (10, 10.0, 3.0)])
+        dist, _ = minimum_distance(a, b)
+        assert dist == pytest.approx(3.0)
+
+    def test_minimum_distance_interior_minimum(self):
+        # Objects approach then separate; the minimum is mid-piece.
+        a = lit([(0, -5.0, 1.0), (10, 5.0, 1.0)])
+        b = lit([(0, 5.0, -1.0), (10, -5.0, -1.0)])
+        dist, t = minimum_distance(a, b)
+        assert dist == pytest.approx(2.0)
+        assert t == pytest.approx(5.0)
+
+    def test_disjoint_domains_raise(self):
+        a = lit([(0, 0.0, 0.0), (1, 1.0, 0.0)])
+        b = lit([(5, 0.0, 0.0), (6, 1.0, 0.0)])
+        with pytest.raises(TrajectoryError):
+            minimum_distance(a, b)
+
+    def test_partial_overlap(self):
+        a = lit([(0, 0.0, 0.0), (10, 10.0, 0.0)])
+        b = lit([(5, 5.0, 4.0), (15, 15.0, 4.0)])
+        dist, t = minimum_distance(a, b)
+        assert dist == pytest.approx(4.0)
+        assert 5 <= t <= 10

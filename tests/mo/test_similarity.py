@@ -1,0 +1,129 @@
+"""Tests for trajectory similarity measures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrajectoryError
+from repro.geometry import Point
+from repro.mo import MOFT, TrajectorySample
+from repro.mo.similarity import (
+    discrete_frechet,
+    hausdorff,
+    most_similar_pair,
+    sample_frechet,
+    sample_hausdorff,
+    similarity_matrix,
+)
+
+LINE = [Point(x, 0.0) for x in range(5)]
+SHIFTED = [Point(x, 3.0) for x in range(5)]
+REVERSED_LINE = list(reversed(LINE))
+
+point_lists = st.lists(
+    st.builds(
+        Point,
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestFrechet:
+    def test_identical_is_zero(self):
+        assert discrete_frechet(LINE, LINE) == 0.0
+
+    def test_parallel_shift(self):
+        assert discrete_frechet(LINE, SHIFTED) == pytest.approx(3.0)
+
+    def test_order_matters(self):
+        # Walking the same path backwards forces a long leash...
+        assert discrete_frechet(LINE, REVERSED_LINE) == pytest.approx(4.0)
+        # ...while Hausdorff, order-blind, sees identical point sets.
+        assert hausdorff(LINE, REVERSED_LINE) == 0.0
+
+    def test_single_points(self):
+        assert discrete_frechet([Point(0, 0)], [Point(3, 4)]) == pytest.approx(5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError):
+            discrete_frechet([], LINE)
+
+    @given(point_lists, point_lists)
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert discrete_frechet(a, b) == pytest.approx(discrete_frechet(b, a))
+
+    @given(point_lists, point_lists)
+    @settings(max_examples=50)
+    def test_frechet_at_least_hausdorff(self, a, b):
+        assert discrete_frechet(a, b) >= hausdorff(a, b) - 1e-9
+
+    @given(point_lists)
+    def test_self_distance_zero(self, a):
+        assert discrete_frechet(a, a) == 0.0
+
+
+class TestHausdorff:
+    def test_parallel_shift(self):
+        assert hausdorff(LINE, SHIFTED) == pytest.approx(3.0)
+
+    def test_subset_asymmetry_handled(self):
+        short = LINE[:2]
+        assert hausdorff(short, LINE) == pytest.approx(3.0)  # to (4, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError):
+            hausdorff(LINE, [])
+
+    @given(point_lists, point_lists)
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert hausdorff(a, b) == pytest.approx(hausdorff(b, a))
+
+
+class TestSampleWrappers:
+    def test_sample_frechet(self):
+        a = TrajectorySample([(t, float(t), 0.0) for t in range(5)])
+        b = TrajectorySample([(t, float(t), 3.0) for t in range(5)])
+        assert sample_frechet(a, b) == pytest.approx(3.0)
+        assert sample_hausdorff(a, b) == pytest.approx(3.0)
+
+
+class TestMatrix:
+    def build(self) -> MOFT:
+        moft = MOFT()
+        for t in range(4):
+            moft.add("a", t, float(t), 0.0)
+            moft.add("b", t, float(t), 1.0)
+            moft.add("c", t, float(t), 50.0)
+        return moft
+
+    def test_matrix_keys(self):
+        matrix = similarity_matrix(self.build())
+        assert set(matrix) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_values(self):
+        matrix = similarity_matrix(self.build())
+        assert matrix[("a", "b")] == pytest.approx(1.0)
+        assert matrix[("a", "c")] == pytest.approx(50.0)
+
+    def test_hausdorff_measure(self):
+        matrix = similarity_matrix(self.build(), measure="hausdorff")
+        assert matrix[("b", "c")] == pytest.approx(49.0)
+
+    def test_unknown_measure(self):
+        with pytest.raises(TrajectoryError):
+            similarity_matrix(self.build(), measure="dtw")
+
+    def test_most_similar_pair(self):
+        oid_a, oid_b, distance = most_similar_pair(self.build())
+        assert {oid_a, oid_b} == {"a", "b"}
+        assert distance == pytest.approx(1.0)
+
+    def test_most_similar_needs_two(self):
+        moft = MOFT()
+        moft.add("solo", 0, 0.0, 0.0)
+        with pytest.raises(TrajectoryError):
+            most_similar_pair(moft)

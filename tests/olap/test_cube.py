@@ -1,0 +1,118 @@
+"""Tests for the cube view: rollup, slice, dice, drilldown."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.olap import (
+    Cube,
+    DimensionAttribute,
+    DimensionInstance,
+    DimensionSchema,
+    FactTable,
+    FactTableSchema,
+)
+
+
+def build_cube() -> Cube:
+    time_schema = DimensionSchema("Time", [("hour", "dayPart")])
+    time_inst = DimensionInstance(time_schema)
+    for hour in (8, 9, 10, 11):
+        time_inst.set_rollup("hour", hour, "dayPart", "Morning")
+    for hour in (13, 14):
+        time_inst.set_rollup("hour", hour, "dayPart", "Afternoon")
+
+    geo_schema = DimensionSchema("Geo", [("store", "city")])
+    geo_inst = DimensionInstance(geo_schema)
+    geo_inst.set_rollup("store", "s1", "city", "antwerp")
+    geo_inst.set_rollup("store", "s2", "city", "antwerp")
+    geo_inst.set_rollup("store", "s3", "city", "brussels")
+
+    schema = FactTableSchema(
+        "sales",
+        [
+            DimensionAttribute("hour", "Time", "hour"),
+            DimensionAttribute("store", "Geo", "store"),
+        ],
+        ["amount"],
+    )
+    table = FactTable(schema)
+    table.insert_many(
+        [
+            {"hour": 8, "store": "s1", "amount": 10.0},
+            {"hour": 9, "store": "s2", "amount": 20.0},
+            {"hour": 13, "store": "s1", "amount": 30.0},
+            {"hour": 14, "store": "s3", "amount": 40.0},
+            {"hour": 10, "store": "s3", "amount": 50.0},
+        ]
+    )
+    return Cube(table, {"Time": time_inst, "Geo": geo_inst})
+
+
+class TestConstruction:
+    def test_missing_dimension_rejected(self):
+        cube = build_cube()
+        with pytest.raises(SchemaError):
+            Cube(cube.fact_table, {"Time": cube.dimensions["Time"]})
+
+    def test_unknown_level_rejected(self):
+        cube = build_cube()
+        schema = FactTableSchema(
+            "bad",
+            [DimensionAttribute("hour", "Time", "galaxy")],
+            ["amount"],
+        )
+        with pytest.raises(SchemaError):
+            Cube(FactTable(schema), cube.dimensions)
+
+    def test_len(self):
+        assert len(build_cube()) == 5
+
+
+class TestRollup:
+    def test_rollup_one_dimension(self):
+        cube = build_cube()
+        result = cube.rollup({"hour": "dayPart"}, "SUM", "amount")
+        assert result[("Morning",)] == 80.0
+        assert result[("Afternoon",)] == 70.0
+
+    def test_rollup_two_dimensions(self):
+        cube = build_cube()
+        result = cube.rollup(
+            {"hour": "dayPart", "store": "city"}, "SUM", "amount"
+        )
+        assert result[("Morning", "antwerp")] == 30.0
+        assert result[("Morning", "brussels")] == 50.0
+        assert result[("Afternoon", "antwerp")] == 30.0
+        assert result[("Afternoon", "brussels")] == 40.0
+
+    def test_rollup_count(self):
+        cube = build_cube()
+        result = cube.rollup({"store": "city"}, "COUNT")
+        assert result[("antwerp",)] == 3
+        assert result[("brussels",)] == 2
+
+    def test_drilldown_same_as_rollup_finer(self):
+        cube = build_cube()
+        fine = cube.drilldown({"hour": "hour"}, "SUM", "amount")
+        assert fine[(8,)] == 10.0
+        assert len(fine) == 5
+
+
+class TestSliceDice:
+    def test_slice_by_member(self):
+        cube = build_cube().slice("store", "s1")
+        assert len(cube) == 2
+        result = cube.rollup({"hour": "dayPart"}, "SUM", "amount")
+        assert result[("Morning",)] == 10.0
+
+    def test_slice_at_coarser_level(self):
+        cube = build_cube().slice_at_level("store", "city", "antwerp")
+        assert len(cube) == 3
+
+    def test_dice_with_predicate(self):
+        cube = build_cube().dice(lambda row: row["amount"] >= 30.0)
+        assert len(cube) == 3
+
+    def test_slice_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            build_cube().slice("galaxy", "x")

@@ -1,0 +1,189 @@
+"""Tests for Piet-QL execution against the Figure 1 world and beyond."""
+
+import pytest
+
+from repro.errors import PietQLExecutionError
+from repro.geometry import Point, Polygon, Polyline
+from repro.gis import NODE, POLYGON, POLYLINE
+from repro.mo import MOFT
+from repro.pietql import LayerBinding, PietQLExecutor, run
+from repro.query import EvaluationContext, geometric_subquery
+from repro.synth.paperdata import figure1_instance
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+@pytest.fixture()
+def executor(world):
+    bindings = {
+        "neighborhoods": LayerBinding("Ln", POLYGON),
+        "rivers": LayerBinding("Lr", POLYLINE),
+        "schools": LayerBinding("Ls", NODE),
+    }
+    return PietQLExecutor(world.context(), bindings)
+
+
+class TestBindingResolution:
+    def test_explicit_binding(self, executor):
+        from repro.pietql.ast import LayerRef
+
+        binding = executor.resolve(LayerRef("neighborhoods"))
+        assert (binding.layer, binding.kind) == ("Ln", POLYGON)
+
+    def test_direct_gis_layer_single_kind(self, world):
+        executor = PietQLExecutor(world.context())
+        from repro.pietql.ast import LayerRef
+
+        binding = executor.resolve(LayerRef("Ln"))
+        assert (binding.layer, binding.kind) == ("Ln", POLYGON)
+
+    def test_unknown_layer_raises(self, world):
+        executor = PietQLExecutor(world.context())
+        from repro.pietql.ast import LayerRef
+
+        with pytest.raises(PietQLExecutionError):
+            executor.resolve(LayerRef("atlantis"))
+
+    def test_sublevel_overrides(self, executor):
+        from repro.pietql.ast import LayerRef
+
+        binding = executor.resolve(LayerRef("rivers"), "line")
+        assert binding.kind == "line"
+
+
+class TestGeometricExecution:
+    def test_no_conditions_returns_all(self, executor):
+        result = executor.execute("SELECT layer.schools FROM Fig1")
+        assert result.geometry_ids == {
+            "nd_school_south",
+            "nd_school_north",
+        }
+        assert result.count is None
+
+    def test_river_crossing_condition(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE intersection(layer.rivers, layer.neighborhoods)"
+        )
+        assert result.geometry_ids == {
+            "pg_zuid",
+            "pg_berchem",
+            "pg_centrum",
+            "pg_noord",
+        }
+
+    def test_paper_pipeline_conditions(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE intersection(layer.rivers, layer.neighborhoods) "
+            "AND contains(layer.neighborhoods, layer.schools)"
+        )
+        assert result.geometry_ids == {"pg_zuid", "pg_noord"}
+
+    def test_infix_contains(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 WHERE "
+            "(layer.neighborhoods) CONTAINS "
+            "(layer.neighborhoods, layer.schools, sublevel.node)"
+        )
+        assert result.geometry_ids == {"pg_zuid", "pg_noord"}
+
+    def test_matches_geometric_subquery_api(self, world, executor):
+        text_result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE intersection(layer.rivers, layer.neighborhoods) "
+            "AND contains(layer.neighborhoods, layer.schools)"
+        )
+        api_result = geometric_subquery(
+            world.context(),
+            ("Ln", POLYGON),
+            [
+                ("intersects", ("Lr", POLYLINE)),
+                ("contains", ("Ls", NODE)),
+            ],
+        )
+        assert set(text_result.geometry_ids) == api_result
+
+    def test_unsatisfiable(self, executor):
+        result = executor.execute(
+            "SELECT layer.schools FROM Fig1 "
+            "WHERE contains(layer.schools, layer.neighborhoods)"
+        )
+        assert result.geometry_ids == frozenset()
+
+
+class TestMovingObjectsExecution:
+    def test_count_objects_through_result(self, executor):
+        """Section 5's example shape: objects through qualifying regions."""
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE intersection(layer.rivers, layer.neighborhoods) "
+            "AND contains(layer.neighborhoods, layer.schools) "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT"
+        )
+        # zuid and noord qualify; O1, O2 touch zuid, O3, O5, O6 noord.
+        assert result.count == 5
+        assert result.matched_objects == frozenset(
+            {"O1", "O2", "O3", "O5", "O6"}
+        )
+
+    def test_count_objects_no_through(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 | COUNT OBJECTS FROM FMbus"
+        )
+        assert result.count == 6
+
+    def test_count_samples(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 | COUNT SAMPLES FROM FMbus"
+        )
+        assert result.count == 12
+
+    def test_during_restricts_instants(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "| COUNT SAMPLES FROM FMbus DURING timeOfDay = 'Morning'"
+        )
+        # Samples at t in {2,3,4}: O1 x3, O2 x3, O5 x1, O6 x2.
+        assert result.count == 9
+
+    def test_during_with_through(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE contains(layer.neighborhoods, layer.schools) "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT "
+            "DURING timeOfDay = 'Morning'"
+        )
+        # Morning samples only; zuid & noord qualify geometrically.
+        # O1 (zuid), O2 (zuid at t=3), O5, O6 (noord); O3 has no morning
+        # samples; O4's only sample is t=6.
+        assert result.matched_objects == frozenset({"O1", "O2", "O5", "O6"})
+
+    def test_empty_geometric_answer(self, executor):
+        result = executor.execute(
+            "SELECT layer.schools FROM Fig1 "
+            "WHERE contains(layer.schools, layer.neighborhoods) "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT"
+        )
+        assert result.count == 0
+        assert result.matched_objects == frozenset()
+
+    def test_run_convenience(self, world):
+        bindings = {"neighborhoods": LayerBinding("Ln", POLYGON)}
+        result = run(
+            "SELECT layer.neighborhoods FROM Fig1 | COUNT OBJECTS FROM FMbus",
+            world.context(),
+            bindings,
+        )
+        assert result.count == 6
+
+    def test_unknown_moft(self, executor):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            executor.execute(
+                "SELECT layer.neighborhoods FROM Fig1 | COUNT OBJECTS FROM nope"
+            )

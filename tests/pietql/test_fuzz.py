@@ -1,0 +1,51 @@
+"""Fuzz tests: the Piet-QL front end never crashes, only raises PietQLError."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PietQLError
+from repro.pietql import parse, tokenize
+
+
+class TestLexerFuzz:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_tokenize_total(self, text):
+        """Tokenization either succeeds or raises PietQLError — never
+        anything else."""
+        try:
+            tokens = tokenize(text)
+        except PietQLError:
+            return
+        assert tokens[-1].type.name == "EOF"
+
+    @given(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"),
+                whitelist_characters=" .,;|()='\"_\n",
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=200)
+    def test_parse_total_on_token_soup(self, text):
+        try:
+            parse(text)
+        except PietQLError:
+            pass
+
+    @given(st.lists(st.sampled_from([
+        "SELECT", "FROM", "WHERE", "AND", "layer", ".", ",", "(", ")",
+        "|", "COUNT", "OBJECTS", "SAMPLES", "THROUGH", "RESULT",
+        "DURING", "=", "'x'", "cities", "rivers", "intersection",
+        "contains", "sublevel", "AGGREGATE", "sum", "BY",
+    ]), max_size=30).map(" ".join))
+    @settings(max_examples=300)
+    def test_parse_total_on_keyword_shuffles(self, text):
+        try:
+            query = parse(text)
+        except PietQLError:
+            return
+        # Anything that parses must be a structurally valid query.
+        assert query.geometric.select

@@ -1,0 +1,99 @@
+"""Tests for the Piet-QL tokenizer."""
+
+import pytest
+
+from repro.errors import PietQLSyntaxError
+from repro.pietql import Token, TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_case_insensitive(self):
+        for text in ("select", "SELECT", "Select"):
+            token = tokenize(text)[0]
+            assert token.type is TokenType.KEYWORD
+            assert token.value == "SELECT"
+
+    def test_identifiers(self):
+        token = tokenize("usa_rivers")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "usa_rivers"
+
+    def test_punctuation(self):
+        assert types("( ) , ; | . =")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.SEMICOLON,
+            TokenType.PIPE,
+            TokenType.DOT,
+            TokenType.EQUALS,
+        ]
+
+    def test_dotted_reference(self):
+        assert values("layer.usa_cities") == ["LAYER", ".", "usa_cities"]
+
+    def test_numbers(self):
+        assert values("42 3.25 -7") == ["42", "3.25", "-7"]
+
+    def test_number_then_dot_reference(self):
+        # "3.x" must not swallow the dot into the number.
+        tokens = tokenize("3.x")
+        assert tokens[0].value == "3"
+        assert tokens[1].type is TokenType.DOT
+
+    def test_strings_single_and_double(self):
+        assert tokenize("'Morning'")[0].value == "Morning"
+        assert tokenize('"Morning"')[0].value == "Morning"
+
+    def test_unterminated_string(self):
+        with pytest.raises(PietQLSyntaxError):
+            tokenize("'oops")
+        with pytest.raises(PietQLSyntaxError):
+            tokenize("'new\nline'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(PietQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_line_tracking(self):
+        tokens = tokenize("SELECT\nFROM")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_is_keyword_helper(self):
+        token = tokenize("COUNT")[0]
+        assert token.is_keyword("count")
+        assert not token.is_keyword("select")
+
+
+class TestPaperExample:
+    def test_paper_query_tokenizes(self):
+        text = """
+        SELECT layer.usa_rivers,layer.usa_cities,
+        layer.usa_stores;
+        FROM PietSchema;
+        WHERE intersection(layer.usa_rivers,
+        layer.usa_cities,sublevel.Linestring)
+        AND(layer.usa_cities)
+        CONTAINS(layer.usa_cities,
+        layer.usa_stores, sublevel.Point);
+        """
+        tokens = tokenize(text)
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert keywords.count("LAYER") == 8
+        assert "SELECT" in keywords
+        assert "WHERE" in keywords
+        assert "AND" in keywords

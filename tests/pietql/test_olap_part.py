@@ -1,0 +1,140 @@
+"""Tests for the Piet-QL OLAP middle part (three-part queries)."""
+
+import pytest
+
+from repro.errors import PietQLError, PietQLExecutionError, PietQLSyntaxError
+from repro.gis import NODE, POLYGON, POLYLINE
+from repro.pietql import LayerBinding, PietQLExecutor, parse
+from repro.pietql.ast import OlapQuery
+from repro.synth.paperdata import figure1_instance
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+@pytest.fixture()
+def executor(world):
+    return PietQLExecutor(
+        world.context(),
+        {
+            "neighborhoods": LayerBinding("Ln", POLYGON),
+            "rivers": LayerBinding("Lr", POLYLINE),
+            "schools": LayerBinding("Ls", NODE),
+        },
+    )
+
+
+class TestParsing:
+    def test_olap_only(self):
+        query = parse(
+            "SELECT layer.neighborhoods FROM S | AGGREGATE sum(income)"
+        )
+        assert query.olap == OlapQuery("sum", "income", None)
+        assert query.moving_objects is None
+
+    def test_olap_with_by(self):
+        query = parse(
+            "SELECT layer.neighborhoods FROM S "
+            "| AGGREGATE avg(income) BY city"
+        )
+        assert query.olap == OlapQuery("avg", "income", "city")
+
+    def test_three_part_query(self):
+        query = parse(
+            "SELECT layer.neighborhoods FROM S "
+            "| AGGREGATE sum(income) BY city "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT"
+        )
+        assert query.olap is not None
+        assert query.moving_objects is not None
+        assert query.moving_objects.through_result
+
+    def test_count_function(self):
+        query = parse(
+            "SELECT layer.neighborhoods FROM S | AGGREGATE COUNT(income)"
+        )
+        assert query.olap.function == "count"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PietQLError):
+            parse(
+                "SELECT layer.neighborhoods FROM S | AGGREGATE median(income)"
+            )
+
+    def test_syntax_errors(self):
+        with pytest.raises(PietQLSyntaxError):
+            parse("SELECT layer.n FROM S | AGGREGATE sum income")
+        with pytest.raises(PietQLSyntaxError):
+            parse("SELECT layer.n FROM S | AGGREGATE sum(income) BY")
+
+
+class TestExecution:
+    def test_sum_incomes_of_result(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE contains(layer.neighborhoods, layer.schools) "
+            "| AGGREGATE sum(income)"
+        )
+        # zuid (1200) and noord (3000) contain schools.
+        assert result.olap_result == {"all": 4200}
+
+    def test_grouped_by_city(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "| AGGREGATE sum(income) BY city"
+        )
+        # All four neighborhoods roll up to antwerp.
+        assert result.olap_result == {
+            "antwerp": 1200 + 1400 + 2500 + 3000
+        }
+
+    def test_avg_and_count(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 | AGGREGATE avg(income)"
+        )
+        assert result.olap_result["all"] == pytest.approx(8100 / 4)
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 | AGGREGATE count(income)"
+        )
+        assert result.olap_result == {"all": 4}
+
+    def test_three_part_execution(self, executor):
+        result = executor.execute(
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE contains(layer.neighborhoods, layer.schools) "
+            "| AGGREGATE min(income) "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT"
+        )
+        assert result.olap_result == {"all": 1200}
+        assert result.count == 5
+
+    def test_empty_result_empty_olap(self, executor):
+        result = executor.execute(
+            "SELECT layer.schools FROM Fig1 "
+            "WHERE contains(layer.schools, layer.neighborhoods) "
+            "| AGGREGATE count(income)"
+        )
+        assert result.olap_result == {}
+
+    def test_no_attribute_on_target_raises(self, world):
+        # Bind a name to a (layer, kind) without any placement.
+        from repro.gis import LINE
+
+        executor = PietQLExecutor(
+            world.context(), {"riverlines": LayerBinding("Lr", LINE)}
+        )
+        with pytest.raises(PietQLExecutionError):
+            executor.execute(
+                "SELECT layer.riverlines FROM Fig1 | AGGREGATE sum(income)"
+            )
+
+    def test_missing_value_raises(self, executor):
+        from repro.errors import InstanceError
+
+        with pytest.raises(InstanceError):
+            executor.execute(
+                "SELECT layer.neighborhoods FROM Fig1 "
+                "| AGGREGATE sum(nonexistent)"
+            )

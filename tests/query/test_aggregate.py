@@ -1,0 +1,152 @@
+"""Tests for aggregation over regions, including Remark 1."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.olap import AggregateFunction
+from repro.query import (
+    AggregateSpec,
+    MovingObjectAggregateQuery,
+    RegionBuilder,
+    count_distinct_objects,
+    count_per_group,
+)
+from repro.query.ast import And, Moft, TimeRollup, Const, Var
+from repro.query.region import SpatioTemporalRegion
+from repro.synth.paperdata import LOW_INCOME_THRESHOLD, figure1_instance
+
+OID, T, X, Y = Var("oid"), Var("t"), Var("x"), Var("y")
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+@pytest.fixture()
+def ctx(world):
+    return world.context()
+
+
+def low_income_region(world):
+    return (
+        RegionBuilder()
+        .from_moft("FMbus")
+        .during("timeOfDay", "Morning")
+        .in_attribute_polygon(
+            "neighborhood", value_filter=("income", "<", LOW_INCOME_THRESHOLD)
+        )
+        .build(world.gis)
+    )
+
+
+class TestAggregateSpec:
+    def test_function_parsed_from_string(self):
+        spec = AggregateSpec(function="sum", measure="t")
+        assert spec.function is AggregateFunction.SUM
+
+    def test_distinct_needs_measure(self):
+        with pytest.raises(QueryError):
+            AggregateSpec(distinct=True)
+
+    def test_per_span_needs_both(self):
+        with pytest.raises(QueryError):
+            AggregateSpec(per_span_level="timeOfDay")
+
+
+class TestValidation:
+    def test_group_by_must_be_output(self, world):
+        region = low_income_region(world)
+        with pytest.raises(QueryError):
+            MovingObjectAggregateQuery(
+                region, AggregateSpec(group_by=("zzz",))
+            )
+
+    def test_measure_must_be_output(self, world):
+        region = low_income_region(world)
+        with pytest.raises(QueryError):
+            MovingObjectAggregateQuery(
+                region, AggregateSpec(function="SUM", measure="zzz")
+            )
+
+    def test_run_scalar_rejects_grouped(self, world, ctx):
+        region = low_income_region(world)
+        query = MovingObjectAggregateQuery(
+            region, AggregateSpec(group_by=("oid",))
+        )
+        with pytest.raises(QueryError):
+            query.run_scalar(ctx)
+
+
+class TestRemark1:
+    def test_answer_is_four_thirds(self, world, ctx):
+        """Remark 1: the running query evaluates to 4/3 ≈ 1.333."""
+        query = MovingObjectAggregateQuery(
+            low_income_region(world),
+            AggregateSpec(per_span_level="timeOfDay", per_span_member="Morning"),
+        )
+        assert query.run_scalar(ctx) == pytest.approx(4 / 3)
+
+    def test_contributions(self, world, ctx):
+        """O1 contributes three times, O2 once (the paper's breakdown)."""
+        per_object = count_per_group(low_income_region(world), ctx, ["oid"])
+        assert per_object == {("O1",): 3, ("O2",): 1}
+
+    def test_raw_count_is_four(self, world, ctx):
+        query = MovingObjectAggregateQuery(
+            low_income_region(world), AggregateSpec()
+        )
+        assert query.run_scalar(ctx) == 4
+
+
+class TestAggregations:
+    def test_count_distinct_objects(self, world, ctx):
+        assert count_distinct_objects(low_income_region(world), ctx) == 2
+
+    def test_grouped_per_hour(self, world, ctx):
+        counts = count_per_group(low_income_region(world), ctx, ["t"])
+        assert counts == {(2.0,): 1, (3.0,): 2, (4.0,): 1}
+
+    def test_min_max_over_instants(self, world, ctx):
+        region = low_income_region(world)
+        earliest = MovingObjectAggregateQuery(
+            region, AggregateSpec(function="MIN", measure="t")
+        ).run_scalar(ctx)
+        latest = MovingObjectAggregateQuery(
+            region, AggregateSpec(function="MAX", measure="t")
+        ).run_scalar(ctx)
+        assert (earliest, latest) == (2.0, 4.0)
+
+    def test_empty_region_count_zero(self, world, ctx):
+        region = SpatioTemporalRegion(
+            ("oid", "t"),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                TimeRollup(T, "timeOfDay", Const("Midnightish")),
+            ),
+        )
+        query = MovingObjectAggregateQuery(region, AggregateSpec())
+        assert query.run_scalar(ctx) == 0.0
+
+    def test_empty_region_sum_raises(self, world, ctx):
+        region = SpatioTemporalRegion(
+            ("oid", "t"),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                TimeRollup(T, "timeOfDay", Const("Midnightish")),
+            ),
+        )
+        query = MovingObjectAggregateQuery(
+            region, AggregateSpec(function="SUM", measure="t")
+        )
+        with pytest.raises(QueryError):
+            query.run_scalar(ctx)
+
+    def test_distinct_grouped(self, world, ctx):
+        region = low_income_region(world)
+        query = MovingObjectAggregateQuery(
+            region,
+            AggregateSpec(measure="oid", distinct=True, group_by=("t",)),
+        )
+        result = query.run(ctx)
+        assert result == {(2.0,): 1.0, (3.0,): 2.0, (4.0,): 1.0}

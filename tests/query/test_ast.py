@@ -1,0 +1,85 @@
+"""Tests for the constraint AST: terms, connectives, atoms."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import ast
+from repro.query.ast import And, Compare, Const, Exists, MemberValue, Not, Or, Var
+
+
+class TestTerms:
+    def test_as_term_coercion(self):
+        assert ast.as_term(5) == Const(5)
+        assert ast.as_term(Var("x")) == Var("x")
+        assert ast.as_term(Const("a")) == Const("a")
+
+    def test_term_value(self):
+        env = {"x": 42}
+        assert ast.term_value(Var("x"), env) == 42
+        assert ast.term_value(Const(7), env) == 7
+
+    def test_unbound_raises(self):
+        with pytest.raises(QueryError):
+            ast.term_value(Var("y"), {})
+
+    def test_is_bound(self):
+        assert ast.is_bound(Const(1), {})
+        assert ast.is_bound(Var("x"), {"x": 1})
+        assert not ast.is_bound(Var("x"), {})
+
+    def test_operator_parsing(self):
+        assert ast.parse_operator("<")(1, 2)
+        assert ast.parse_operator(">=")(2, 2)
+        assert ast.parse_operator("=")(3, 3)
+        assert ast.parse_operator("!=")(3, 4)
+        with pytest.raises(QueryError):
+            ast.parse_operator("~~")
+
+
+class TestConnectives:
+    ATOM_A = Compare(Var("a"), "=", Const(1))
+    ATOM_B = Compare(Var("b"), "=", Const(2))
+
+    def test_and_flattens(self):
+        composite = And(And(self.ATOM_A, self.ATOM_B), self.ATOM_A)
+        assert len(composite.children) == 3
+
+    def test_and_needs_children(self):
+        with pytest.raises(QueryError):
+            And()
+
+    def test_or_needs_children(self):
+        with pytest.raises(QueryError):
+            Or()
+
+    def test_free_variables(self):
+        f = And(self.ATOM_A, self.ATOM_B)
+        assert f.free_variables() == {"a", "b"}
+        assert Not(self.ATOM_A).free_variables() == {"a"}
+
+    def test_exists_binds(self):
+        f = Exists(Var("a"), ast.ExplicitDomain([1, 2]), And(self.ATOM_A, self.ATOM_B))
+        assert f.free_variables() == {"b"}
+
+    def test_operator_sugar(self):
+        f = self.ATOM_A & self.ATOM_B
+        assert isinstance(f, And)
+        g = self.ATOM_A | self.ATOM_B
+        assert isinstance(g, Or)
+        n = ~self.ATOM_A
+        assert isinstance(n, Not)
+
+    def test_member_value_free_vars(self):
+        expr = MemberValue("neighborhood", Var("n"), "income")
+        f = Compare(expr, "<", Const(1500))
+        assert f.free_variables() == {"n"}
+
+    def test_member_value_repr(self):
+        expr = MemberValue("neighborhood", Var("n"), "income")
+        assert "income" in repr(expr)
+
+
+class TestDomains:
+    def test_explicit_domain(self):
+        domain = ast.ExplicitDomain([3, 1, 2])
+        assert set(domain.values(None)) == {1, 2, 3}

@@ -1,0 +1,132 @@
+"""Tests for the Section 3.1 query-type taxonomy."""
+
+import pytest
+
+from repro.query import QueryType, RegionBuilder, classify
+from repro.query.ast import (
+    Alpha,
+    And,
+    Compare,
+    Const,
+    MemberValue,
+    Moft,
+    PointIn,
+    TimeRollup,
+    TrajectoryIntersects,
+    Var,
+)
+from repro.query.region import SpatioTemporalRegion
+from repro.synth.paperdata import figure1_instance
+
+OID, T, X, Y = Var("oid"), Var("t"), Var("x"), Var("y")
+PG, N = Var("pg"), Var("n")
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+class TestDescriptions:
+    def test_every_type_described(self):
+        for query_type in QueryType:
+            assert query_type.description
+
+    def test_int_values_match_paper(self):
+        assert QueryType.SPATIAL_AGGREGATION == 1
+        assert QueryType.TRAJECTORY_AGGREGATION == 8
+
+
+class TestClassification:
+    def test_type1_spatial_only(self):
+        region = SpatioTemporalRegion(
+            ("pg",),
+            And(
+                Alpha("neighborhood", N, PG),
+            ),
+        )
+        assert classify(region) is QueryType.SPATIAL_AGGREGATION
+
+    def test_type2_spatial_with_numeric(self):
+        region = SpatioTemporalRegion(
+            ("pg",),
+            And(
+                Alpha("neighborhood", N, PG),
+                Compare(
+                    MemberValue("neighborhood", N, "income"), "<", Const(1500)
+                ),
+            ),
+        )
+        assert classify(region) is QueryType.SPATIAL_WITH_NUMERIC
+
+    def test_type3_samples_only(self):
+        region = SpatioTemporalRegion(
+            ("oid", "t"),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                TimeRollup(T, "timeOfDay", Const("Morning")),
+            ),
+        )
+        assert classify(region) is QueryType.TRAJECTORY_SAMPLES
+
+    def test_type4_samples_with_geometry(self, world):
+        region = (
+            RegionBuilder()
+            .from_moft("FMbus")
+            .during("timeOfDay", "Morning")
+            .in_attribute_polygon("neighborhood")
+            .build(world.gis)
+        )
+        assert classify(region) is QueryType.SAMPLES_WITH_GEOMETRY
+
+    def test_type5_aggregated_region_flag(self, world):
+        region = (
+            RegionBuilder()
+            .from_moft("FMbus")
+            .in_attribute_polygon("neighborhood")
+            .build(world.gis)
+        )
+        assert (
+            classify(region, region_uses_aggregation=True)
+            is QueryType.SAMPLES_WITH_AGGREGATED_REGION
+        )
+
+    def test_type6_time_fixed(self, world):
+        region = (
+            RegionBuilder()
+            .from_moft("FMbus", at_instant=3)
+            .in_attribute_polygon("neighborhood", member="berchem")
+            .build(world.gis)
+        )
+        assert classify(region) is QueryType.TRAJECTORY_AS_SPATIAL_OBJECT
+
+    def test_type7_trajectory(self, world):
+        region = SpatioTemporalRegion(
+            ("oid",),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                TrajectoryIntersects(OID, "Ln", "polygon", PG, "FMbus"),
+            ),
+        )
+        assert classify(region) is QueryType.TRAJECTORY_QUERY
+
+    def test_type8_flag(self, world):
+        region = (
+            RegionBuilder()
+            .from_moft("FMbus")
+            .in_attribute_polygon("neighborhood")
+            .build(world.gis)
+        )
+        assert (
+            classify(region, aggregates_trajectory_measure=True)
+            is QueryType.TRAJECTORY_AGGREGATION
+        )
+
+    def test_builder_trajectory_through(self, world):
+        region = (
+            RegionBuilder()
+            .from_moft("FMbus")
+            .trajectory_through_attribute("neighborhood", moft_name="FMbus")
+            .build(world.gis)
+        )
+        assert classify(region) is QueryType.TRAJECTORY_QUERY

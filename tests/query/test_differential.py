@@ -1,0 +1,136 @@
+"""Differential tests: the solver vs an independent brute-force reference.
+
+A tiny reference implementation evaluates the running-query shape with
+plain loops (no AST, no solver, no overlay); hypothesis generates small
+random worlds and the two implementations must agree exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Polygon
+from repro.gis import (
+    ALL,
+    POINT,
+    POLYGON,
+    AttributePlacement,
+    GISDimensionInstance,
+    GISDimensionSchema,
+    LayerHierarchy,
+)
+from repro.mo import MOFT
+from repro.query import EvaluationContext, RegionBuilder
+from repro.temporal import TimeDimension
+
+GRID = 4  # 4x4 neighborhoods of size 10
+
+
+def build_world(incomes, samples, morning):
+    """A GRIDxGRID world with given per-cell incomes and MOFT samples."""
+    schema = GISDimensionSchema(
+        [LayerHierarchy("Ln", [(POINT, POLYGON), (POLYGON, ALL)])],
+        [AttributePlacement("neighborhood", POLYGON, "Ln")],
+    )
+    gis = GISDimensionInstance(schema)
+    for index, income in enumerate(incomes):
+        i, j = index % GRID, index // GRID
+        name = f"nb{i}_{j}"
+        gis.add_geometry(
+            "Ln",
+            POLYGON,
+            f"pg_{name}",
+            Polygon.rectangle(i * 10, j * 10, (i + 1) * 10, (j + 1) * 10),
+        )
+        gis.set_alpha("neighborhood", name, f"pg_{name}")
+        gis.set_member_value("neighborhood", name, "income", income)
+    moft = MOFT("FM")
+    for oid_index, t, x, y in samples:
+        moft.add(f"obj{oid_index}", t, x, y)
+    rollups = []
+    for t in range(8):
+        rollups.append(("timeId", t, "hour", t))
+        rollups.append(
+            ("hour", t, "timeOfDay", "Morning" if t in morning else "Other")
+        )
+    time = TimeDimension.from_explicit_rollups(rollups)
+    return gis, time, moft
+
+
+def reference_answer(incomes, samples, morning, threshold):
+    """Brute force: loops and arithmetic only."""
+    result = set()
+    for oid_index, t, x, y in samples:
+        if t not in morning:
+            continue
+        for index, income in enumerate(incomes):
+            if income >= threshold:
+                continue
+            i, j = index % GRID, index // GRID
+            if i * 10 <= x <= (i + 1) * 10 and j * 10 <= y <= (j + 1) * 10:
+                result.add((f"obj{oid_index}", float(t)))
+                break
+    return result
+
+
+world_strategy = st.tuples(
+    st.lists(
+        st.integers(min_value=500, max_value=3000),
+        min_size=GRID * GRID,
+        max_size=GRID * GRID,
+    ),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # object index
+            st.integers(min_value=0, max_value=7),  # instant
+            st.floats(min_value=0.5, max_value=39.5),
+            st.floats(min_value=0.5, max_value=39.5),
+        ),
+        min_size=1,
+        max_size=25,
+        unique_by=lambda s: (s[0], s[1]),
+    ),
+    st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+    st.integers(min_value=400, max_value=3100),
+)
+
+
+class TestDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(world_strategy)
+    def test_solver_matches_reference(self, data):
+        incomes, samples, morning, threshold = data
+        gis, time, moft = build_world(incomes, samples, morning)
+        ctx = EvaluationContext(gis, time, moft)
+        region = (
+            RegionBuilder()
+            .from_moft("FM")
+            .during("timeOfDay", "Morning")
+            .in_attribute_polygon(
+                "neighborhood", value_filter=("income", "<", threshold)
+            )
+            .build(gis)
+        )
+        solver_answer = region.evaluate_tuples(ctx)
+        expected = reference_answer(incomes, samples, morning, threshold)
+        # Samples exactly on shared boundaries belong to both cells; the
+        # strategy avoids integral boundaries, so answers must be equal.
+        assert solver_answer == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(world_strategy)
+    def test_overlay_and_naive_match_reference(self, data):
+        incomes, samples, morning, threshold = data
+        gis, time, moft = build_world(incomes, samples, morning)
+        region = (
+            RegionBuilder()
+            .from_moft("FM")
+            .during("timeOfDay", "Morning")
+            .in_attribute_polygon(
+                "neighborhood", value_filter=("income", "<", threshold)
+            )
+            .build(gis)
+        )
+        expected = reference_answer(incomes, samples, morning, threshold)
+        for use_overlay in (True, False):
+            ctx = EvaluationContext(gis, time, moft, use_overlay=use_overlay)
+            assert region.evaluate_tuples(ctx) == expected

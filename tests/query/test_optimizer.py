@@ -1,0 +1,138 @@
+"""Tests for time push-down optimization."""
+
+import pytest
+
+from repro.query import RegionBuilder
+from repro.query.ast import And, Const, Moft, Or, TimeRollup, Var
+from repro.query.optimizer import FilteredMoft, push_down_time
+from repro.query.region import SpatioTemporalRegion
+from repro.synth.paperdata import LOW_INCOME_THRESHOLD, figure1_instance
+
+OID, T, X, Y = Var("oid"), Var("t"), Var("x"), Var("y")
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+def running_query_region(world):
+    return (
+        RegionBuilder()
+        .from_moft("FMbus")
+        .during("timeOfDay", "Morning")
+        .in_attribute_polygon(
+            "neighborhood", value_filter=("income", "<", LOW_INCOME_THRESHOLD)
+        )
+        .build(world.gis)
+    )
+
+
+class TestRewrite:
+    def test_rewrites_moft_to_filtered(self, world):
+        region = running_query_region(world)
+        optimized = push_down_time(region, world.context())
+        kinds = [type(c).__name__ for c in optimized.formula.children]
+        assert "FilteredMoft" in kinds
+        assert "Moft" not in kinds
+
+    def test_instants_are_the_morning(self, world):
+        region = running_query_region(world)
+        optimized = push_down_time(region, world.context())
+        filtered = next(
+            c
+            for c in optimized.formula.children
+            if isinstance(c, FilteredMoft)
+        )
+        assert filtered.instants == frozenset({2.0, 3.0, 4.0})
+
+    def test_same_answers(self, world):
+        ctx = world.context()
+        region = running_query_region(world)
+        optimized = push_down_time(region, ctx)
+        assert optimized.evaluate_tuples(ctx) == region.evaluate_tuples(ctx)
+
+    def test_compare_constraints_intersected(self, world):
+        region = SpatioTemporalRegion(
+            ("oid", "t"),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                TimeRollup(T, "timeOfDay", Const("Morning")),
+            ),
+        )
+        builder_region = (
+            RegionBuilder()
+            .from_moft("FMbus")
+            .during("timeOfDay", "Morning")
+            .where_time("hour", ">=", 3)
+            .build(world.gis)
+        )
+        ctx = world.context()
+        optimized = push_down_time(builder_region, ctx)
+        filtered = next(
+            c
+            for c in optimized.formula.children
+            if isinstance(c, FilteredMoft)
+        )
+        assert filtered.instants == frozenset({3.0, 4.0})
+        assert optimized.evaluate_tuples(ctx) == builder_region.evaluate_tuples(
+            ctx
+        )
+
+
+class TestNoRewrite:
+    def test_no_temporal_atoms(self, world):
+        region = SpatioTemporalRegion(
+            ("oid", "t"), And(Moft(OID, T, X, Y, "FMbus"))
+        )
+        assert push_down_time(region, world.context()) is region
+
+    def test_constant_instant_untouched(self, world):
+        region = SpatioTemporalRegion(
+            ("oid",),
+            And(
+                Moft(OID, Const(3.0), X, Y, "FMbus"),
+                TimeRollup(Const(3.0), "timeOfDay", Const("Morning")),
+            ),
+        )
+        assert push_down_time(region, world.context()) is region
+
+    def test_non_conjunction_untouched(self, world):
+        region = SpatioTemporalRegion(
+            ("oid", "t"),
+            Or(
+                Moft(OID, T, X, Y, "FMbus"),
+                Moft(OID, T, X, Y, "FMbus"),
+            ),
+        )
+        assert push_down_time(region, world.context()) is region
+
+    def test_variable_member_untouched(self, world):
+        region = SpatioTemporalRegion(
+            ("oid", "t", "part"),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                TimeRollup(T, "timeOfDay", Var("part")),
+            ),
+        )
+        optimized = push_down_time(region, world.context())
+        assert optimized is region
+
+
+class TestFilteredMoftAtom:
+    def test_check_rejects_outside_instants(self, world):
+        ctx = world.context()
+        inner = Moft(Const("O1"), Const(1.0), Const(2.0), Const(2.0), "FMbus")
+        filtered = FilteredMoft(inner, frozenset({2.0, 3.0}))
+        assert not filtered.check(ctx, {})
+        inner_ok = Moft(
+            Const("O1"), Const(2.0), Const(4.0), Const(2.0), "FMbus"
+        )
+        assert FilteredMoft(inner_ok, frozenset({2.0})).check(ctx, {})
+
+    def test_enumeration_restricted(self, world):
+        ctx = world.context()
+        inner = Moft(OID, T, X, Y, "FMbus")
+        filtered = FilteredMoft(inner, frozenset({5.0, 6.0}))
+        rows = list(filtered.enumerate_bindings(ctx, {}))
+        assert {row["oid"] for row in rows} == {"O3", "O4"}

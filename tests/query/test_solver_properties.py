@@ -1,0 +1,122 @@
+"""Property tests on the region solver: order independence, monotonicity."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.ast import (
+    Alpha,
+    And,
+    Compare,
+    Const,
+    MemberValue,
+    Moft,
+    PointIn,
+    TimeRollup,
+    Var,
+)
+from repro.query.region import SpatioTemporalRegion
+from repro.synth.paperdata import figure1_instance
+
+OID, T, X, Y = Var("oid"), Var("t"), Var("x"), Var("y")
+PG, N = Var("pg"), Var("n")
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+def running_query_conjuncts():
+    return [
+        Moft(OID, T, X, Y, "FMbus"),
+        TimeRollup(T, "timeOfDay", Const("Morning")),
+        PointIn(X, Y, "Ln", "polygon", PG),
+        Alpha("neighborhood", N, PG),
+        Compare(
+            MemberValue("neighborhood", N, "income"), "<", Const(1500)
+        ),
+    ]
+
+
+class TestOrderIndependence:
+    def test_all_permutations_agree(self, world):
+        """The conjunct order affects cost, never the answer."""
+        ctx = world.context()
+        conjuncts = running_query_conjuncts()
+        reference = None
+        for permutation in itertools.permutations(range(len(conjuncts))):
+            formula = And(*[conjuncts[i] for i in permutation])
+            region = SpatioTemporalRegion(("oid", "t"), formula)
+            answer = region.evaluate_tuples(ctx)
+            if reference is None:
+                reference = answer
+            else:
+                assert answer == reference
+        assert reference == {
+            ("O1", 2.0),
+            ("O1", 3.0),
+            ("O1", 4.0),
+            ("O2", 3.0),
+        }
+
+
+class TestMonotonicity:
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=20)
+    def test_tighter_income_filter_shrinks_region(self, world, threshold):
+        ctx = world.context()
+
+        def region_for(limit):
+            return SpatioTemporalRegion(
+                ("oid", "t"),
+                And(
+                    Moft(OID, T, X, Y, "FMbus"),
+                    PointIn(X, Y, "Ln", "polygon", PG),
+                    Alpha("neighborhood", N, PG),
+                    Compare(
+                        MemberValue("neighborhood", N, "income"),
+                        "<",
+                        Const(limit),
+                    ),
+                ),
+            ).evaluate_tuples(ctx)
+
+        tight = region_for(threshold)
+        loose = region_for(threshold + 1000)
+        assert tight <= loose
+
+    def test_adding_conjuncts_never_grows(self, world):
+        ctx = world.context()
+        base = [Moft(OID, T, X, Y, "FMbus")]
+        extras = [
+            TimeRollup(T, "timeOfDay", Const("Morning")),
+            PointIn(X, Y, "Ln", "polygon", PG),
+        ]
+        previous = SpatioTemporalRegion(
+            ("oid", "t"), And(*base)
+        ).evaluate_tuples(ctx)
+        for extra in extras:
+            base.append(extra)
+            current = SpatioTemporalRegion(
+                ("oid", "t"), And(*base)
+            ).evaluate_tuples(ctx)
+            assert current <= previous
+            previous = current
+
+
+class TestStrategiesAgreeProperty:
+    @given(st.sampled_from(["zuid", "berchem", "centrum", "noord"]))
+    def test_overlay_naive_parity_per_member(self, world, member):
+        region = SpatioTemporalRegion(
+            ("oid", "t"),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                PointIn(X, Y, "Ln", "polygon", PG),
+                Alpha("neighborhood", Const(member), PG),
+            ),
+        )
+        with_overlay = region.evaluate_tuples(world.context(use_overlay=True))
+        naive = region.evaluate_tuples(world.context(use_overlay=False))
+        assert with_overlay == naive

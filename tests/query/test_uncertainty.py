@@ -1,0 +1,145 @@
+"""Tests for the uncertainty-aware PossiblyThrough atom (lifeline beads)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.geometry import Point, Polygon
+from repro.mo import MOFT, Lifeline, TrajectorySample
+from repro.query.ast import And, Moft, PossiblyThrough, Const, Var
+from repro.query.region import SpatioTemporalRegion
+from repro.synth.paperdata import figure1_instance
+
+OID, T, X, Y = Var("oid"), Var("t"), Var("x"), Var("y")
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+class TestEllipsePolygon:
+    def test_intersects_overlapping(self):
+        from repro.mo.beads import Ellipse
+
+        ellipse = Ellipse(Point(0, 0), 4.0, 2.0, 0.0)
+        assert ellipse.intersects_polygon(Polygon.rectangle(3, -1, 6, 1))
+        assert not ellipse.intersects_polygon(Polygon.rectangle(10, 10, 12, 12))
+
+    def test_polygon_inside_ellipse(self):
+        from repro.mo.beads import Ellipse
+
+        ellipse = Ellipse(Point(0, 0), 10.0, 10.0, 0.0)
+        assert ellipse.intersects_polygon(Polygon.rectangle(-1, -1, 1, 1))
+
+    def test_ellipse_inside_polygon(self):
+        from repro.mo.beads import Ellipse
+
+        ellipse = Ellipse(Point(0, 0), 1.0, 0.5, 0.0)
+        assert ellipse.intersects_polygon(Polygon.rectangle(-5, -5, 5, 5))
+
+    def test_boundary_points_on_ellipse(self):
+        from repro.mo.beads import Ellipse
+
+        ellipse = Ellipse(Point(1, 2), 3.0, 1.0, 0.7)
+        for p in ellipse.boundary_points(16):
+            assert ellipse.contains_point(p)
+
+
+class TestCouldHaveEntered:
+    def test_straight_line_bead(self):
+        sample = TrajectorySample([(0, 0.0, 0.0), (10, 10.0, 0.0)])
+        lifeline = Lifeline(sample, max_speed=2.0)
+        # Region near the path but off it: reachable within the bead.
+        assert lifeline.could_have_entered(Polygon.rectangle(4, 3, 6, 5))
+        # Region far beyond the speed bound: provably never entered.
+        assert not lifeline.could_have_entered(
+            Polygon.rectangle(4, 50, 6, 52)
+        )
+
+    def test_tight_speed_excludes_detour(self):
+        sample = TrajectorySample([(0, 0.0, 0.0), (10, 10.0, 0.0)])
+        region = Polygon.rectangle(4, 4, 6, 6)
+        assert Lifeline(sample, max_speed=3.0).could_have_entered(region)
+        assert not Lifeline(sample, max_speed=1.01).could_have_entered(region)
+
+
+class TestPossiblyThroughAtom:
+    def region(self, max_speed: float) -> SpatioTemporalRegion:
+        return SpatioTemporalRegion(
+            ("oid",),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                PossiblyThrough(
+                    OID,
+                    "Ln",
+                    "polygon",
+                    Const("pg_berchem"),
+                    max_speed,
+                    "FMbus",
+                ),
+            ),
+        )
+
+    def test_superset_of_interpolation(self, world):
+        """Any object whose LIT crosses the region could also have crossed
+        it under the bead model (for a feasible speed)."""
+        ctx = world.context()
+        # O6's straight path crosses Berchem's bump: speed 6/h suffices
+        # (samples 6 units apart, one hour).
+        possible = {
+            row["oid"] for row in self.region(7.0).evaluate(ctx)
+        }
+        assert "O6" in possible
+
+    def test_generous_speed_admits_more(self, world):
+        ctx = world.context()
+        slow = {row["oid"] for row in self.region(7.0).evaluate(ctx)}
+        fast = {row["oid"] for row in self.region(30.0).evaluate(ctx)}
+        assert slow <= fast
+        assert len(fast) > len(slow)
+
+    def test_single_sample_point_check(self, world):
+        ctx = world.context()
+        # O3's single sample is at (15,15) in noord, not in berchem.
+        # (Project on t since the object id is a constant here.)
+        region = SpatioTemporalRegion(
+            ("t",),
+            And(
+                Moft(Const("O3"), T, X, Y, "FMbus"),
+                PossiblyThrough(
+                    Const("O3"),
+                    "Ln",
+                    "polygon",
+                    Const("pg_berchem"),
+                    10.0,
+                    "FMbus",
+                ),
+            ),
+        )
+        assert region.evaluate(ctx) == []
+
+    def test_node_target(self, world):
+        ctx = world.context()
+        region = SpatioTemporalRegion(
+            ("oid",),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                PossiblyThrough(
+                    OID, "Ls", "node", Const("nd_school_north"), 20.0, "FMbus"
+                ),
+            ),
+        )
+        oids = {row["oid"] for row in region.evaluate(ctx)}
+        assert "O3" in oids  # sampled exactly at the school
+
+    def test_enumerates_geometries(self, world):
+        ctx = world.context()
+        region = SpatioTemporalRegion(
+            ("oid", "g"),
+            And(
+                Moft(OID, T, X, Y, "FMbus"),
+                PossiblyThrough(OID, "Ln", "polygon", Var("g"), 5.0, "FMbus"),
+            ),
+        )
+        rows = region.evaluate(ctx)
+        assert any(row["oid"] == "O1" and row["g"] == "pg_zuid" for row in rows)

@@ -1,0 +1,132 @@
+"""Tests for the columnar Type-4 fast path, incl. solver equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Polygon
+from repro.mo import MOFT
+from repro.query import RegionBuilder
+from repro.query.vectorized import polygon_contains_batch, samples_in_polygons
+from repro.synth import LOW_INCOME_THRESHOLD, figure1_instance
+from repro.synth.movement import random_waypoint_moft
+from repro.geometry import BoundingBox
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+class TestBatchContainment:
+    def test_matches_scalar_on_square(self):
+        square = Polygon.rectangle(0, 0, 10, 10)
+        xs = np.array([5.0, -1.0, 10.0, 0.0, 15.0])
+        ys = np.array([5.0, 5.0, 5.0, 0.0, 15.0])
+        batch = polygon_contains_batch(square, xs, ys)
+        for i in range(len(xs)):
+            assert batch[i] == square.contains_point(Point(xs[i], ys[i]))
+
+    def test_boundary_points_inside(self):
+        square = Polygon.rectangle(0, 0, 10, 10)
+        xs = np.array([0.0, 10.0, 5.0])
+        ys = np.array([5.0, 10.0, 0.0])
+        assert polygon_contains_batch(square, xs, ys).all()
+
+    def test_hole_excluded(self):
+        poly = Polygon(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)],
+            holes=[[Point(4, 4), Point(6, 4), Point(6, 6), Point(4, 6)]],
+        )
+        xs = np.array([5.0, 2.0, 4.0])
+        ys = np.array([5.0, 2.0, 5.0])
+        result = polygon_contains_batch(poly, xs, ys)
+        assert list(result) == [False, True, True]  # hole boundary counts
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-15, max_value=15),
+                st.floats(min_value=-15, max_value=15),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.integers(min_value=3, max_value=9),
+    )
+    def test_batch_equals_scalar_property(self, coords, sides):
+        polygon = Polygon.regular(Point(0, 0), 8.0, sides)
+        xs = np.array([c[0] for c in coords])
+        ys = np.array([c[1] for c in coords])
+        batch = polygon_contains_batch(polygon, xs, ys)
+        for i, (px, py) in enumerate(coords):
+            assert batch[i] == polygon.contains_point(Point(px, py))
+
+
+class TestSamplesInPolygons:
+    def test_running_query_equivalence(self, world):
+        """The fast path reproduces the solver's Remark 1 region."""
+        ctx = world.context()
+        region = (
+            RegionBuilder()
+            .from_moft("FMbus")
+            .during("timeOfDay", "Morning")
+            .in_attribute_polygon(
+                "neighborhood",
+                value_filter=("income", "<", LOW_INCOME_THRESHOLD),
+            )
+            .build(world.gis)
+        )
+        solver_answer = region.evaluate_tuples(ctx)
+        low_polygons = [
+            world.gis.layer("Ln").element(
+                "polygon", world.gis.alpha("neighborhood", member)
+            )
+            for member in world.low_income_neighborhoods
+        ]
+        fast_answer = samples_in_polygons(
+            world.moft,
+            low_polygons,
+            world.time.instants_where("timeOfDay", "Morning"),
+        )
+        assert fast_answer == solver_answer
+
+    def test_no_time_filter(self, world):
+        low_polygons = [
+            world.gis.layer("Ln").element(
+                "polygon", world.gis.alpha("neighborhood", member)
+            )
+            for member in world.low_income_neighborhoods
+        ]
+        answer = samples_in_polygons(world.moft, low_polygons)
+        assert ("O1", 1.0) in answer
+
+    def test_empty_inputs(self, world):
+        assert samples_in_polygons(MOFT(), [Polygon.rectangle(0, 0, 1, 1)]) == set()
+        assert samples_in_polygons(world.moft, []) == set()
+        assert (
+            samples_in_polygons(
+                world.moft, [Polygon.rectangle(0, 0, 1, 1)], instants=[]
+            )
+            == set()
+        )
+
+    def test_random_world_equivalence(self, world):
+        """Fast path equals per-sample scalar checks on random traffic."""
+        moft = random_waypoint_moft(
+            BoundingBox(0, 0, 20, 20), n_objects=15, n_instants=10, seed=3
+        )
+        polygons = [
+            world.gis.layer("Ln").element(
+                "polygon", world.gis.alpha("neighborhood", m)
+            )
+            for m in ("zuid", "noord")
+        ]
+        fast = samples_in_polygons(moft, polygons)
+        slow = {
+            (oid, t)
+            for oid, t, x, y in moft.tuples()
+            if any(p.contains_point(Point(x, y)) for p in polygons)
+        }
+        assert fast == slow

@@ -1,0 +1,120 @@
+"""Tests for the synthetic city generator."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.geometry import Point
+from repro.gis import LINE, NODE, POLYGON, POLYLINE
+from repro.synth import CityConfig, build_city
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_city(CityConfig(cols=4, rows=4, city_span=2, seed=3))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            CityConfig(cols=0)
+        with pytest.raises(SchemaError):
+            CityConfig(block_size=0)
+        with pytest.raises(SchemaError):
+            CityConfig(city_span=0)
+
+    def test_deterministic(self):
+        a = build_city(CityConfig(cols=3, rows=3, seed=42))
+        b = build_city(CityConfig(cols=3, rows=3, seed=42))
+        for name in a.neighborhoods:
+            assert a.gis.member_value(
+                "neighborhood", name, "income"
+            ) == b.gis.member_value("neighborhood", name, "income")
+
+    def test_seed_changes_world(self):
+        a = build_city(CityConfig(cols=3, rows=3, seed=1))
+        b = build_city(CityConfig(cols=3, rows=3, seed=2))
+        incomes_a = [
+            a.gis.member_value("neighborhood", n, "income")
+            for n in a.neighborhoods
+        ]
+        incomes_b = [
+            b.gis.member_value("neighborhood", n, "income")
+            for n in b.neighborhoods
+        ]
+        assert incomes_a != incomes_b
+
+
+class TestStructure:
+    def test_counts(self, city):
+        assert len(city.neighborhoods) == 16
+        assert len(city.cities) == 4
+        # 5 horizontal + 5 vertical streets on a 4x4 grid.
+        assert len(city.streets) == 10
+        assert len(city.schools) == 4 * 2
+        assert len(city.stores) == 4 * 3
+        assert len(city.gas_stations) == 4 * 1
+
+    def test_layers_populated(self, city):
+        assert city.gis.layer("Ln").size(POLYGON) == 16
+        assert city.gis.layer("Lc").size(POLYGON) == 4
+        assert city.gis.layer("Lst").size(POLYLINE) == 10
+        assert city.gis.layer("Lst").size(LINE) == 10 * 4
+        assert city.gis.layer("Lr").size(POLYLINE) == 1
+        assert city.gis.layer("Ls").size(NODE) == 8
+
+    def test_line_polyline_rollup_relation(self, city):
+        relation = city.gis.rollup_relation("Lst", LINE, POLYLINE)
+        # Every street has 4 composing lines on a 4-block grid.
+        assert len(relation) == 40
+        per_street = {}
+        for line_id, street_id in relation:
+            per_street.setdefault(street_id, 0)
+            per_street[street_id] += 1
+        assert all(count == 4 for count in per_street.values())
+
+    def test_neighborhoods_partition_bbox(self, city):
+        total = sum(
+            geom.area
+            for geom in city.gis.layer("Ln").elements(POLYGON).values()
+        )
+        assert total == pytest.approx(city.bounding_box.area)
+
+    def test_city_population_is_sum_of_neighborhoods(self, city):
+        app = city.gis.application_instance("Neighbourhoods")
+        for city_name in city.cities:
+            members = app.descendants(city_name, "city", "neighborhood")
+            total = sum(
+                city.gis.member_value("neighborhood", n, "population")
+                for n in members
+            )
+            assert city.gis.member_value(
+                "city", city_name, "population"
+            ) == total
+
+    def test_nodes_inside_their_city(self, city):
+        for name in city.schools:
+            gid = city.gis.alpha("school", name)
+            node = city.gis.layer("Ls").element(NODE, gid)
+            __, ci, cj, __ = name.split("_")
+            city_gid = city.gis.alpha("city", f"city_{ci}_{cj}")
+            polygon = city.gis.layer("Lc").element(POLYGON, city_gid)
+            assert polygon.contains_point(node)
+
+    def test_river_crosses_full_width(self, city):
+        river = city.gis.layer("Lr").element(POLYLINE, "pl_river")
+        assert river.bbox.min_x == 0
+        assert river.bbox.max_x == city.bounding_box.max_x
+
+    def test_low_income_helper(self, city):
+        low = city.low_income_neighborhoods(2000)
+        for name in low:
+            assert city.gis.member_value("neighborhood", name, "income") < 2000
+        high = set(city.neighborhoods) - set(low)
+        for name in high:
+            assert (
+                city.gis.member_value("neighborhood", name, "income") >= 2000
+            )
+
+    def test_point_location_works(self, city):
+        hits = city.gis.point_rollup("Ln", POLYGON, Point(5, 5))
+        assert hits == {"pg_nb_0_0"}

@@ -1,0 +1,151 @@
+"""Tests that the concrete Figure 1 / Table 1 instance matches the paper."""
+
+import pytest
+
+from repro.geometry import Point, Segment
+from repro.gis import POLYGON
+from repro.mo import LinearInterpolationTrajectory, passes_through
+from repro.synth.paperdata import (
+    INCOMES,
+    LOW_INCOME_THRESHOLD,
+    MORNING_INSTANTS,
+    TABLE1_SAMPLES,
+    figure1_instance,
+    figure2_schema,
+    neighborhood_polygons,
+    table1_moft,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance()
+
+
+class TestTable1:
+    def test_twelve_samples_six_objects(self):
+        moft = table1_moft()
+        assert len(moft) == 12
+        assert moft.objects() == {"O1", "O2", "O3", "O4", "O5", "O6"}
+
+    def test_sample_counts_match_table(self):
+        moft = table1_moft()
+        expected = {"O1": 4, "O2": 3, "O3": 1, "O4": 1, "O5": 1, "O6": 2}
+        for oid, count in expected.items():
+            assert moft.sample_count(oid) == count
+
+    def test_instants_match_table(self):
+        moft = table1_moft()
+        assert [t for t, _, _ in moft.history("O1")] == [1, 2, 3, 4]
+        assert [t for t, _, _ in moft.history("O2")] == [2, 3, 4]
+        assert [t for t, _, _ in moft.history("O6")] == [2, 3]
+
+
+class TestNeighborhoods:
+    def test_partition_covers_city(self):
+        polys = neighborhood_polygons()
+        total = sum(p.area for p in polys.values())
+        assert total == pytest.approx(400.0)  # the 20x20 city
+
+    def test_no_pairwise_interior_overlap(self):
+        polys = list(neighborhood_polygons().values())
+        from repro.geometry import polygon_intersection_area
+
+        for i in range(len(polys)):
+            for j in range(i + 1, len(polys)):
+                assert polygon_intersection_area(
+                    polys[i], polys[j], resolution=64
+                ) == pytest.approx(0.0, abs=1.0)
+
+    def test_low_income_set(self, world):
+        assert world.low_income_neighborhoods == {"zuid", "berchem"}
+        for name, income in INCOMES.items():
+            assert (income < LOW_INCOME_THRESHOLD) == (
+                name in world.low_income_neighborhoods
+            )
+
+
+class TestFigure1Narrative:
+    """Each bullet of the paper's description of Figure 1."""
+
+    def locate(self, world, x, y):
+        hits = world.gis.point_rollup("Ln", POLYGON, Point(x, y))
+        assert len(hits) == 1
+        (gid,) = hits
+        (member,) = world.gis.alpha_inverse("neighborhood", gid)
+        return member
+
+    def test_o1_always_low_income(self, world):
+        for t, x, y in world.moft.history("O1"):
+            assert self.locate(world, x, y) in world.low_income_neighborhoods
+
+    def test_o2_high_low_high(self, world):
+        members = [
+            self.locate(world, x, y) for _, x, y in world.moft.history("O2")
+        ]
+        low = world.low_income_neighborhoods
+        assert members[0] not in low
+        assert members[1] in low
+        assert members[2] not in low
+
+    def test_o3_o4_o5_always_high(self, world):
+        for oid in ("O3", "O4", "O5"):
+            for _, x, y in world.moft.history(oid):
+                assert (
+                    self.locate(world, x, y)
+                    not in world.low_income_neighborhoods
+                )
+
+    def test_o6_passes_through_low_income_unsampled(self, world):
+        # Neither sample is in a low-income area...
+        for _, x, y in world.moft.history("O6"):
+            assert (
+                self.locate(world, x, y) not in world.low_income_neighborhoods
+            )
+        # ...but the interpolated trajectory crosses Berchem's bump.
+        lit = LinearInterpolationTrajectory(world.moft.trajectory_sample("O6"))
+        berchem = world.gis.layer("Ln").element(
+            POLYGON, world.gis.alpha("neighborhood", "berchem")
+        )
+        assert passes_through(lit, berchem)
+
+
+class TestTimeDimension:
+    def test_morning_is_three_hours(self, world):
+        assert world.time.instants_where("timeOfDay", "Morning") == set(
+            MORNING_INSTANTS
+        )
+        assert world.time.span("timeOfDay", "Morning") == 3
+
+    def test_all_instants_registered(self, world):
+        assert world.time.instants == {1, 2, 3, 4, 5, 6}
+
+    def test_monday_weekday(self, world):
+        assert world.time.rollup(2, "dayOfWeek") == "Monday"
+        assert world.time.rollup(2, "typeOfDay") == "Weekday"
+
+
+class TestFigure2Schema:
+    def test_three_layers(self):
+        schema = figure2_schema()
+        assert schema.layer_names == ["Ln", "Lr", "Ls"]
+
+    def test_river_hierarchy_matches_example2(self):
+        # H1(Lr) = point -> line -> polyline -> All (Example 2).
+        hierarchy = figure2_schema().hierarchy("Lr")
+        assert set(hierarchy.edges()) == {
+            ("point", "line"),
+            ("line", "polyline"),
+            ("polyline", "All"),
+        }
+
+    def test_placements_match_example2(self):
+        schema = figure2_schema()
+        assert schema.placement("neighborhood").kind == "polygon"
+        assert schema.placement("river").kind == "polyline"
+        assert schema.placement("school").kind == "node"
+
+    def test_application_dimensions(self):
+        schema = figure2_schema()
+        neigh = schema.application_dimension("Neighbourhoods")
+        assert neigh.rolls_up_to("neighborhood", "city")

@@ -1,0 +1,124 @@
+"""Tests for the classical warehouse and its GIS integration."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.gis import POLYGON, POLYLINE
+from repro.query import EvaluationContext, geometric_subquery
+from repro.synth import CityConfig, build_city
+from repro.synth.warehouse import (
+    revenue_of_cities,
+    sales_cube,
+    sales_fact_table,
+    stores_dimension,
+)
+from repro.temporal import TimeDimension, hourly
+
+DAYS = ["2006-01-09", "2006-01-10", "2006-01-11"]
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_city(CityConfig(cols=4, rows=4, city_span=2, seed=55))
+
+
+@pytest.fixture(scope="module")
+def table(city):
+    return sales_fact_table(city, DAYS, seed=55)
+
+
+@pytest.fixture(scope="module")
+def time_dim():
+    return TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(72)
+    )
+
+
+class TestStoresDimension:
+    def test_every_store_registered(self, city):
+        dim = stores_dimension(city)
+        assert dim.members("store") == set(city.stores)
+
+    def test_rollup_matches_geometry(self, city):
+        """The warehouse rollup agrees with the GIS containment."""
+        dim = stores_dimension(city)
+        overlay_pairs = city.gis.overlay().pairs(
+            "Lc:polygon", "Lsto:node", "contains"
+        )
+        geometric = {}
+        for city_gid, store_gid in overlay_pairs:
+            (city_name,) = city.gis.alpha_inverse("city", city_gid)
+            (store_name,) = city.gis.alpha_inverse("store", store_gid)
+            geometric[store_name] = city_name
+        for store in city.stores:
+            assert dim.rollup(store, "store", "city") == geometric[store]
+
+    def test_consistency(self, city):
+        stores_dimension(city).check_consistency()
+
+
+class TestSalesFactTable:
+    def test_shape(self, city, table):
+        assert len(table) == len(city.stores) * len(DAYS)
+        assert table.schema.measures == ("revenue",)
+
+    def test_deterministic(self, city):
+        a = sales_fact_table(city, DAYS, seed=1)
+        b = sales_fact_table(city, DAYS, seed=1)
+        assert list(a.rows()) == list(b.rows())
+
+    def test_validation(self, city):
+        with pytest.raises(SchemaError):
+            sales_fact_table(city, [])
+        with pytest.raises(SchemaError):
+            sales_fact_table(city, DAYS, revenue_low=10, revenue_high=1)
+
+
+class TestSalesCube:
+    def test_rollup_to_city(self, city, table, time_dim):
+        cube = sales_cube(city, table, time_dim)
+        by_city = cube.rollup({"store": "city"}, "SUM", "revenue")
+        total = sum(by_city.values())
+        direct = sum(row["revenue"] for row in table.rows())
+        assert total == pytest.approx(direct)
+        assert set(k[0] for k in by_city) == set(city.cities)
+
+    def test_rollup_day_to_month(self, city, table, time_dim):
+        cube = sales_cube(city, table, time_dim)
+        by_month = cube.rollup({"day": "month"}, "SUM", "revenue")
+        assert set(k[0] for k in by_month) == {"2006-01"}
+
+    def test_slice_by_day(self, city, table, time_dim):
+        cube = sales_cube(city, table, time_dim).slice("day", DAYS[0])
+        assert len(cube) == len(city.stores)
+
+
+class TestGisOlapCombination:
+    def test_revenue_of_river_crossed_cities(self, city, table, time_dim):
+        """The paper's signature combination: a geometric subquery selects
+        cities, the warehouse aggregates their stores' revenue."""
+        ctx = EvaluationContext(city.gis, time_dim, None)
+        crossed_ids = geometric_subquery(
+            ctx, ("Lc", POLYGON), [("intersects", ("Lr", POLYLINE))]
+        )
+        crossed_names = {
+            name
+            for gid in crossed_ids
+            for name in city.gis.alpha_inverse("city", gid)
+        }
+        assert crossed_names  # the river crosses the middle of the city
+        via_helper = revenue_of_cities(city, table, crossed_names)
+        # Cross-check through the cube.
+        cube = sales_cube(city, table, time_dim)
+        by_city = cube.rollup({"store": "city"}, "SUM", "revenue")
+        via_cube = sum(
+            value
+            for (city_name,), value in by_city.items()
+            if city_name in crossed_names
+        )
+        assert via_helper == pytest.approx(via_cube)
+
+    def test_empty_city_set(self, city, table):
+        assert revenue_of_cities(city, table, set()) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the shared benchmark harness and reporting."""
+
+import pytest
+
+from repro.bench import (
+    SCALES,
+    Series,
+    WorldScale,
+    build_world,
+    context_for,
+    format_table,
+    print_series,
+    print_table,
+    timed,
+)
+
+
+class TestWorldBuilding:
+    def test_scales_are_increasing(self):
+        blocks = [s.city_blocks for s in SCALES]
+        objects = [s.n_objects for s in SCALES]
+        assert blocks == sorted(blocks)
+        assert objects == sorted(objects)
+
+    def test_build_world_deterministic(self):
+        scale = WorldScale("tiny", 3, 5, 6)
+        city_a, moft_a, _ = build_world(scale, seed=1)
+        city_b, moft_b, _ = build_world(scale, seed=1)
+        assert list(moft_a.tuples()) == list(moft_b.tuples())
+        assert city_a.neighborhoods == city_b.neighborhoods
+
+    def test_build_world_shape(self):
+        scale = WorldScale("tiny", 3, 5, 6)
+        city, moft, time_dim = build_world(scale)
+        assert len(city.neighborhoods) == 9
+        assert len(moft.objects()) == 5
+        assert len(time_dim.instants) == 6
+
+    def test_context_for(self):
+        scale = WorldScale("tiny", 3, 5, 6)
+        city, moft, time_dim = build_world(scale)
+        ctx = context_for(city, moft, time_dim, use_overlay=False)
+        assert not ctx.use_overlay
+        assert ctx.moft("FM") is moft
+
+
+class TestTimed:
+    def test_returns_best_and_result(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "value"
+
+        best, result = timed(fn, repeat=4)
+        assert result == "value"
+        assert len(calls) == 4
+        assert best >= 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [("alpha", 1.0), ("b", 123456.789)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+
+    def test_format_table_float_rendering(self):
+        text = format_table(["x"], [(0.123456789,)])
+        assert "0.1235" in text
+
+    def test_print_table(self, capsys):
+        print_table("Title", ["a"], [(1,)])
+        out = capsys.readouterr().out
+        assert "== Title ==" in out
+
+    def test_series_accumulates(self):
+        series = Series("s")
+        series.add(1, 2.0)
+        series.add(2, 3.0)
+        assert series.points == [(1, 2.0), (2, 3.0)]
+
+    def test_print_series_joins_on_x(self, capsys):
+        a = Series("a", [(1, 10.0), (2, 20.0)])
+        b = Series("b", [(2, 5.0)])
+        print_series("Joined", [a, b])
+        out = capsys.readouterr().out
+        assert "Joined" in out
+        assert "-" in out  # missing cell placeholder for b at x=1

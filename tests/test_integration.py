@@ -1,0 +1,259 @@
+"""Cross-module integration tests: full pipelines over the synthetic city.
+
+Each test exercises a complete workflow a downstream user would run:
+generate a world, load movement, build contexts, query through several
+subsystems at once, and cross-check results between independent paths
+(builder vs raw AST, Piet-QL vs Python API, overlay vs naive).
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro.gis import GISFactTable, NODE, POLYGON, POLYLINE, summable_aggregate
+from repro.olap import (
+    Cube,
+    DimensionAttribute,
+    FactTable,
+    FactTableSchema,
+)
+from repro.pietql import LayerBinding, PietQLExecutor
+from repro.query import (
+    EvaluationContext,
+    RegionBuilder,
+    count_objects_through,
+    geometric_subquery,
+)
+from repro.query.ast import (
+    Alpha,
+    And,
+    Compare,
+    Const,
+    MemberValue,
+    Moft,
+    PointIn,
+    TimeRollup,
+    Var,
+)
+from repro.query.region import SpatioTemporalRegion
+from repro.synth import (
+    CityConfig,
+    build_city,
+    commuter_moft,
+    random_waypoint_moft,
+)
+from repro.temporal import TimeDimension, hourly
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_city(CityConfig(cols=5, rows=5, seed=77))
+
+
+@pytest.fixture(scope="module")
+def moft(city):
+    return random_waypoint_moft(
+        city.bounding_box, n_objects=30, n_instants=18, speed=12.0, seed=77
+    )
+
+
+@pytest.fixture(scope="module")
+def time_dim():
+    return TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 5, 0)), range(18)
+    )
+
+
+@pytest.fixture(scope="module")
+def ctx(city, moft, time_dim):
+    return EvaluationContext(city.gis, time_dim, moft)
+
+
+class TestBuilderVsRawAst:
+    def test_same_region_both_ways(self, city, ctx):
+        threshold = 2000
+        built = (
+            RegionBuilder()
+            .from_moft("FM")
+            .during("timeOfDay", "Morning")
+            .in_attribute_polygon(
+                "neighborhood", value_filter=("income", "<", threshold)
+            )
+            .build(city.gis)
+        )
+        oid, t, x, y = Var("oid"), Var("t"), Var("x"), Var("y")
+        pg, n = Var("pg"), Var("n")
+        raw = SpatioTemporalRegion(
+            ("oid", "t"),
+            And(
+                Moft(oid, t, x, y, "FM"),
+                TimeRollup(t, "timeOfDay", Const("Morning")),
+                PointIn(x, y, "Ln", POLYGON, pg),
+                Alpha("neighborhood", n, pg),
+                Compare(
+                    MemberValue("neighborhood", n, "income"),
+                    "<",
+                    Const(threshold),
+                ),
+            ),
+        )
+        assert built.evaluate_tuples(ctx) == raw.evaluate_tuples(ctx)
+
+
+class TestPietQLVsApi:
+    def test_geometric_parity(self, city, ctx):
+        executor = PietQLExecutor(
+            ctx,
+            {
+                "cities": LayerBinding("Lc", POLYGON),
+                "rivers": LayerBinding("Lr", POLYLINE),
+                "stores": LayerBinding("Lsto", NODE),
+            },
+        )
+        text = (
+            "SELECT layer.cities FROM CitySchema "
+            "WHERE intersection(layer.rivers, layer.cities) "
+            "AND contains(layer.cities, layer.stores)"
+        )
+        via_language = set(executor.execute(text).geometry_ids)
+        via_api = geometric_subquery(
+            ctx,
+            ("Lc", POLYGON),
+            [("intersects", ("Lr", POLYLINE)), ("contains", ("Lsto", NODE))],
+        )
+        assert via_language == via_api
+
+    def test_full_pipeline_parity(self, city, ctx):
+        executor = PietQLExecutor(
+            ctx,
+            {
+                "cities": LayerBinding("Lc", POLYGON),
+                "rivers": LayerBinding("Lr", POLYLINE),
+            },
+        )
+        text = (
+            "SELECT layer.cities FROM CitySchema "
+            "WHERE intersection(layer.rivers, layer.cities) "
+            "| COUNT OBJECTS FROM FM THROUGH RESULT"
+        )
+        via_language = executor.execute(text).count
+        via_api = count_objects_through(
+            ctx, ("Lc", POLYGON), [("intersects", ("Lr", POLYLINE))]
+        )
+        assert via_language == via_api
+
+
+class TestOverlayVsNaiveEverywhere:
+    def test_region_parity(self, city, moft, time_dim):
+        region = (
+            RegionBuilder()
+            .from_moft("FM")
+            .in_attribute_polygon("neighborhood")
+            .output("oid", "t")
+            .build(city.gis)
+        )
+        with_overlay = region.evaluate_tuples(
+            EvaluationContext(city.gis, time_dim, moft, use_overlay=True)
+        )
+        naive = region.evaluate_tuples(
+            EvaluationContext(city.gis, time_dim, moft, use_overlay=False)
+        )
+        assert with_overlay == naive
+
+
+class TestGisOlapBridge:
+    """Member values -> GIS fact table -> classical cube, consistently."""
+
+    def test_population_three_ways(self, city, ctx):
+        # Path 1: member values summed directly.
+        direct = sum(
+            city.gis.member_value("neighborhood", n, "population")
+            for n in city.neighborhoods
+        )
+        # Path 2: a GIS fact table at the polygon level + summable query.
+        gis_facts = GISFactTable(POLYGON, "Ln", ["population"])
+        for name in city.neighborhoods:
+            gis_facts.set(
+                city.gis.alpha("neighborhood", name),
+                city.gis.member_value("neighborhood", name, "population"),
+            )
+        via_summable = summable_aggregate(
+            gis_facts.ids(), gis_facts, "population", "SUM"
+        )
+        # Path 3: a classical cube over the Neighbourhoods dimension.
+        schema = FactTableSchema(
+            "population",
+            [DimensionAttribute("neighborhood", "Neighbourhoods", "neighborhood")],
+            ["population"],
+        )
+        table = FactTable(schema)
+        for name in city.neighborhoods:
+            table.insert(
+                {
+                    "neighborhood": name,
+                    "population": city.gis.member_value(
+                        "neighborhood", name, "population"
+                    ),
+                }
+            )
+        cube = Cube(
+            table,
+            {
+                "Neighbourhoods": city.gis.application_instance(
+                    "Neighbourhoods"
+                )
+            },
+        )
+        via_cube = cube.rollup(
+            {"neighborhood": "city"}, "SUM", "population"
+        )
+        assert via_summable == direct
+        assert sum(via_cube.values()) == direct
+        # Per-city cells match the generator's own bookkeeping.
+        for (city_name,), value in via_cube.items():
+            assert value == city.gis.member_value("city", city_name, "population")
+
+
+class TestMovingRegionOverCity:
+    def test_storm_hits_match_direct_check(self, city, moft):
+        from repro.geometry import Point, Polygon
+        from repro.mo.movingregion import MovingRegion
+
+        box = city.bounding_box
+        storm = MovingRegion(
+            [
+                (0, Polygon.rectangle(0, 0, box.width / 3, box.height)),
+                (
+                    17,
+                    Polygon.rectangle(
+                        2 * box.width / 3, 0, box.width, box.height
+                    ),
+                ),
+            ]
+        )
+        matches = storm.samples_inside(moft)
+        for oid, t in matches:
+            position = moft.position(oid, t)
+            assert storm.contains(t, position)
+        # The storm sweeps the whole city; plenty of samples are hit.
+        assert len(matches) > 0
+
+
+class TestCommuterFlow:
+    def test_morning_northward_shift(self, city, time_dim):
+        commuters = commuter_moft(
+            city.bounding_box, 25, 18, morning_end=8, seed=5
+        )
+        ctx = EvaluationContext(city.gis, time_dim, commuters)
+        region = (
+            RegionBuilder()
+            .from_moft("FM")
+            .in_attribute_polygon("neighborhood")
+            .output("oid", "t", "y")
+            .build(city.gis)
+        )
+        rows = region.evaluate(ctx)
+        early = [r["y"] for r in rows if r["t"] <= 1]
+        late = [r["y"] for r in rows if r["t"] >= 9]
+        assert early and late
+        assert sum(late) / len(late) > sum(early) / len(early)

@@ -1,0 +1,93 @@
+"""Tests for the ASCII renderer."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import BoundingBox, Point, Polygon, Polyline
+from repro.mo import MOFT
+from repro.viz import AsciiMap, render_figure1, render_world
+
+
+class TestAsciiMap:
+    def test_dimension_validation(self):
+        extent = BoundingBox(0, 0, 10, 10)
+        with pytest.raises(GeometryError):
+            AsciiMap(extent, width=1)
+        with pytest.raises(GeometryError):
+            AsciiMap(BoundingBox(0, 0, 0, 10), 10, 10)
+
+    def test_empty_render(self):
+        ascii_map = AsciiMap(BoundingBox(0, 0, 10, 10), 8, 4)
+        lines = ascii_map.render().splitlines()
+        assert len(lines) == 4
+        assert all(line == "." * 8 for line in lines)
+
+    def test_shade_polygon_bottom_half(self):
+        ascii_map = AsciiMap(BoundingBox(0, 0, 10, 10), 10, 10)
+        ascii_map.shade_polygon(Polygon.rectangle(0, 0, 10, 5))
+        lines = ascii_map.render().splitlines()
+        assert lines[0] == "." * 10  # top row unshaded
+        assert lines[-1] == "#" * 10  # bottom row shaded
+
+    def test_plot_point_and_orientation(self):
+        ascii_map = AsciiMap(BoundingBox(0, 0, 10, 10), 10, 10)
+        ascii_map.plot_point(Point(0.5, 9.5), "X")
+        lines = ascii_map.render().splitlines()
+        assert lines[0][0] == "X"  # top-left in raster = max y, min x
+
+    def test_plot_point_outside_ignored(self):
+        ascii_map = AsciiMap(BoundingBox(0, 0, 10, 10), 10, 10)
+        ascii_map.plot_point(Point(50, 50), "X")
+        assert "X" not in ascii_map.render()
+
+    def test_draw_polyline(self):
+        ascii_map = AsciiMap(BoundingBox(0, 0, 10, 10), 10, 10)
+        ascii_map.draw_polyline(Polyline([Point(0, 5), Point(10, 5)]))
+        lines = ascii_map.render().splitlines()
+        assert any(set(line) == {"~"} for line in lines)
+
+
+class TestRenderWorld:
+    def test_requires_polygons(self):
+        with pytest.raises(GeometryError):
+            render_world({})
+
+    def test_moft_glyphs_plotted(self):
+        polygons = {"zone": Polygon.rectangle(0, 0, 10, 10)}
+        moft = MOFT()
+        moft.add("O7", 0, 5.0, 5.0)
+        art = render_world(polygons, moft=moft, width=20, height=10)
+        assert "7" in art
+
+    def test_shading_predicate(self):
+        polygons = {
+            "poor": Polygon.rectangle(0, 0, 10, 10),
+            "rich": Polygon.rectangle(10, 0, 20, 10),
+        }
+        art = render_world(
+            polygons, shaded=lambda m: m == "poor", width=20, height=4
+        )
+        lines = art.splitlines()
+        assert lines[0][:10].count("#") == 10
+        assert lines[0][10:].count("#") == 0
+
+
+class TestFigure1:
+    def test_renders_deterministically(self):
+        assert render_figure1() == render_figure1()
+
+    def test_contains_expected_elements(self):
+        art = render_figure1(width=60, height=24)
+        # The low-income south is shaded, the river drawn, buses plotted.
+        assert "#" in art
+        assert "~" in art
+        for digit in "123456":
+            assert digit in art
+
+    def test_shading_fraction_matches_geography(self):
+        art = render_figure1(width=40, height=40)
+        shaded = art.count("#")
+        total = 40 * 40
+        # Low-income area is 208 of 400 world units ≈ 52%; allow slack for
+        # rasterization and glyph overwrites.
+        assert 0.35 < shaded / total < 0.65
