@@ -6,6 +6,8 @@ from repro.bench.harness import (
     WorldScale,
     build_world,
     context_for,
+    large_moft,
+    stage_rows,
     timed,
 )
 from repro.bench.reporting import format_table, print_series, print_table
@@ -16,6 +18,8 @@ __all__ = [
     "WorldScale",
     "build_world",
     "context_for",
+    "large_moft",
+    "stage_rows",
     "timed",
     "format_table",
     "print_series",

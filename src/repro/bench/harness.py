@@ -84,6 +84,39 @@ def timed(fn: Callable[[], object], repeat: int = 3) -> Tuple[float, object]:
     return best, result
 
 
+def large_moft(
+    n_objects: int = 500, n_instants: int = 200, seed: int = 23
+) -> MOFT:
+    """A big synthetic MOFT (default 100k samples) for storage benchmarks.
+
+    Built directly from columns — constructing it row by row at this size
+    is exactly the overhead the columnar engine exists to avoid.
+    """
+    box = BoundingBox(0.0, 0.0, 100.0, 100.0)
+    return random_waypoint_moft(
+        box,
+        n_objects=n_objects,
+        n_instants=n_instants,
+        speed=5.0,
+        seed=seed,
+    )
+
+
+def stage_rows(stats: "object") -> List[Tuple[object, ...]]:
+    """Flatten a :class:`repro.obs.PipelineStats` into printable rows.
+
+    Counters come first (count in the second column), stages after
+    (calls, seconds).
+    """
+    rows: List[Tuple[object, ...]] = []
+    for name in sorted(stats.counters):
+        rows.append((name, stats.counters[name], ""))
+    for name in sorted(stats.stages):
+        timer = stats.stages[name]
+        rows.append((name, timer.calls, f"{timer.seconds:.6f}s"))
+    return rows
+
+
 @dataclass
 class Series:
     """A named series of (x, y) measurements for reporting."""

@@ -51,21 +51,23 @@ def read_csv(
         raise TrajectoryError(
             f"MOFT CSV must have columns {HEADER}, got {header}"
         ) from exc
-    moft = MOFT(name)
+    oids: list = []
+    ts: list = []
+    xs: list = []
+    ys: list = []
     for line_number, row in enumerate(reader, start=2):
         if not row or all(not cell.strip() for cell in row):
             continue
         try:
-            oid = row[indices[0]]
-            t = float(row[indices[1]])
-            x = float(row[indices[2]])
-            y = float(row[indices[3]])
+            oids.append(row[indices[0]])
+            ts.append(float(row[indices[1]]))
+            xs.append(float(row[indices[2]]))
+            ys.append(float(row[indices[3]]))
         except (IndexError, ValueError) as exc:
             raise TrajectoryError(
                 f"malformed MOFT CSV row {line_number}: {row!r}"
             ) from exc
-        moft.add(oid, t, x, y)
-    return moft
+    return MOFT.from_columns(oids, ts, xs, ys, name=name)
 
 
 def to_csv_text(moft: MOFT) -> str:

@@ -5,15 +5,41 @@ the form ``(Oid, t, x, y)``, where ``Oid`` is the identifier of the moving
 object, ``t`` is a time instant, and ``(x, y)`` are the coordinates of the
 object ``Oid`` at instant ``t``."
 
+The table is a small columnar storage engine.  The ``(t, x, y)`` columns
+are NumPy float arrays and the ``oid`` column is an object array; bulk
+construction and restriction operate on whole columns:
+
+* :meth:`from_columns` constructs a table from columns in one shot;
+* :meth:`filter`, :meth:`restrict_instants` and :meth:`restrict_objects`
+  produce restricted tables by boolean-mask slicing (:meth:`mask_rows`) —
+  no per-row revalidation, no per-row appends;
+* per-object access (:meth:`history`, :meth:`position`,
+  :meth:`trajectory_sample`) goes through a cached time-sorted row index,
+  so a point lookup is a binary search rather than a sort-per-call.
+
+Storage is dual: append-friendly Python row lists and the cached column
+arrays, each materialized lazily from the other.  ``add()`` works on the
+lists (invalidating the arrays); bulk construction installs the arrays
+and defers the lists until row iteration or another append needs them.
+
 The table enforces the physical invariant that an object occupies at most
-one position per instant, offers row access for the logical operators and a
-columnar NumPy view for bulk scans, and converts per-object histories into
-:class:`~repro.mo.trajectory.TrajectorySample` objects.
+one position per instant.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -23,45 +49,75 @@ from repro.mo.trajectory import TrajectorySample
 
 
 class MOFT:
-    """An in-memory moving-object fact table."""
+    """An in-memory columnar moving-object fact table."""
 
     def __init__(self, name: str = "FM") -> None:
         self.name = name
-        self._oids: List[Hashable] = []
-        self._ts: List[float] = []
-        self._xs: List[float] = []
-        self._ys: List[float] = []
-        self._seen: Set[Tuple[Hashable, float]] = set()
-        self._by_object: Dict[Hashable, List[int]] = {}
+        self._n = 0
+        # Row storage; None after bulk construction until materialized.
+        self._oids: Optional[List[Hashable]] = []
+        self._ts: Optional[List[float]] = []
+        self._xs: Optional[List[float]] = []
+        self._ys: Optional[List[float]] = []
+        # (oid, t) uniqueness set — rebuilt lazily before the first add()
+        # on a bulk-constructed table.
+        self._seen: Optional[Set[Tuple[Hashable, float]]] = set()
+        # oid -> row indices in insertion order; built lazily.
+        self._by_object: Optional[Dict[Hashable, List[int]]] = {}
+        # Cached columnar views (authoritative while the lists are None).
         self._arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._oid_col: Optional[np.ndarray] = None
+        # oid -> (times sorted ascending, row indices in that order).
+        self._order: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
 
     def __len__(self) -> int:
-        return len(self._ts)
+        return self._n
 
     def __repr__(self) -> str:
         return (
             f"MOFT({self.name!r}, samples={len(self)}, "
-            f"objects={len(self._by_object)})"
+            f"objects={len(self._object_rows())})"
         )
+
+    # -- storage duality -------------------------------------------------------
+
+    def _lists(
+        self,
+    ) -> Tuple[List[Hashable], List[float], List[float], List[float]]:
+        """Row lists, materialized from the column arrays when absent."""
+        if self._ts is None:
+            t, x, y = self._arrays  # type: ignore[misc]
+            self._ts = t.tolist()
+            self._xs = x.tolist()
+            self._ys = y.tolist()
+            self._oids = self._oid_col.tolist()  # type: ignore[union-attr]
+        return self._oids, self._ts, self._xs, self._ys  # type: ignore[return-value]
 
     # -- loading ---------------------------------------------------------------
 
     def add(self, oid: Hashable, t: float, x: float, y: float) -> None:
         """Append one sample; ``(oid, t)`` pairs must be unique."""
-        key = (oid, t)
+        oids, ts, xs, ys = self._lists()
+        if self._seen is None:
+            self._seen = set(zip(oids, ts))
+        key = (oid, float(t))
         if key in self._seen:
             raise TrajectoryError(
                 f"object {oid!r} already has a sample at t={t} "
                 f"(an object is at one point at a given instant)"
             )
         self._seen.add(key)
-        index = len(self._ts)
-        self._oids.append(oid)
-        self._ts.append(float(t))
-        self._xs.append(float(x))
-        self._ys.append(float(y))
-        self._by_object.setdefault(oid, []).append(index)
+        index = self._n
+        oids.append(oid)
+        ts.append(float(t))
+        xs.append(float(x))
+        ys.append(float(y))
+        self._n += 1
+        if self._by_object is not None:
+            self._by_object.setdefault(oid, []).append(index)
         self._arrays = None
+        self._oid_col = None
+        self._order.pop(oid, None)
 
     def add_many(
         self, samples: Iterable[Tuple[Hashable, float, float, float]]
@@ -70,42 +126,98 @@ class MOFT:
         for oid, t, x, y in samples:
             self.add(oid, t, x, y)
 
+    @classmethod
+    def from_columns(
+        cls,
+        oids: Sequence[Hashable],
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+        name: str = "FM",
+        validate: bool = True,
+    ) -> "MOFT":
+        """Bulk-construct a table from whole columns.
+
+        Parameters
+        ----------
+        oids, ts, xs, ys:
+            Equal-length columns (sequences or NumPy arrays).
+        validate:
+            Check the ``(oid, t)`` uniqueness invariant.  Pass ``False``
+            only when the columns provably satisfy it already — e.g. when
+            mask-slicing an existing valid table.
+        """
+        t_col = np.asarray(ts, dtype=float)
+        x_col = np.asarray(xs, dtype=float)
+        y_col = np.asarray(ys, dtype=float)
+        if isinstance(oids, np.ndarray) and oids.dtype == object:
+            oid_col = oids.copy()
+        else:
+            oid_col = np.fromiter(oids, dtype=object, count=len(oids))
+        n = oid_col.shape[0]
+        if not (t_col.shape[0] == x_col.shape[0] == y_col.shape[0] == n):
+            raise TrajectoryError(
+                f"column lengths differ: oids={n}, ts={t_col.shape[0]}, "
+                f"xs={x_col.shape[0]}, ys={y_col.shape[0]}"
+            )
+        moft = cls(name)
+        moft._n = n
+        moft._oids = moft._ts = moft._xs = moft._ys = None
+        moft._arrays = (t_col, x_col, y_col)
+        moft._oid_col = oid_col
+        moft._by_object = None
+        if validate:
+            seen = set(zip(oid_col.tolist(), t_col.tolist()))
+            if len(seen) != n:
+                counts: Dict[Tuple[Hashable, float], int] = {}
+                for key in zip(oid_col.tolist(), t_col.tolist()):
+                    counts[key] = counts.get(key, 0) + 1
+                oid, t = next(k for k, c in counts.items() if c > 1)
+                raise TrajectoryError(
+                    f"object {oid!r} already has a sample at t={t} "
+                    f"(an object is at one point at a given instant)"
+                )
+            moft._seen = seen
+        else:
+            moft._seen = None
+        return moft
+
     # -- row access ----------------------------------------------------------------
 
     def rows(self) -> Iterator[Dict[str, Hashable]]:
         """Iterate samples as ``{'oid', 't', 'x', 'y'}`` dictionaries."""
-        for i in range(len(self._ts)):
-            yield {
-                "oid": self._oids[i],
-                "t": self._ts[i],
-                "x": self._xs[i],
-                "y": self._ys[i],
-            }
+        oids, ts, xs, ys = self._lists()
+        for i in range(self._n):
+            yield {"oid": oids[i], "t": ts[i], "x": xs[i], "y": ys[i]}
 
     def tuples(self) -> Iterator[Tuple[Hashable, float, float, float]]:
         """Iterate samples as plain ``(oid, t, x, y)`` tuples."""
-        for i in range(len(self._ts)):
-            yield (self._oids[i], self._ts[i], self._xs[i], self._ys[i])
+        oids, ts, xs, ys = self._lists()
+        for i in range(self._n):
+            yield (oids[i], ts[i], xs[i], ys[i])
 
     def objects(self) -> Set[Hashable]:
         """All distinct object identifiers."""
-        return set(self._by_object)
+        return set(self._object_rows())
 
     def instants(self) -> Set[float]:
         """All distinct sampling instants."""
-        return set(self._ts)
+        if self._ts is not None:
+            return set(self._ts)
+        t, _, _ = self.as_arrays()
+        return set(t.tolist())
 
     def sample_count(self, oid: Hashable) -> int:
         """Number of samples of one object (0 for unknown objects)."""
-        return len(self._by_object.get(oid, ()))
+        return len(self._object_rows().get(oid, ()))
 
     # -- columnar access --------------------------------------------------------------
 
     def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(t, x, y)`` as float arrays in insertion order.
 
-        Built lazily and cached until the next :meth:`add`.  Object ids are
-        not included (they may be arbitrary hashables); use
+        Built lazily and cached until the next :meth:`add`.  Use
+        :meth:`oid_column` for the matching object-id column or
         :meth:`object_mask` to slice by object.
         """
         if self._arrays is None:
@@ -116,43 +228,108 @@ class MOFT:
             )
         return self._arrays
 
+    def oid_column(self) -> np.ndarray:
+        """The object-id column as an object-dtype array (cached)."""
+        if self._oid_col is None:
+            self._oid_col = np.fromiter(
+                self._oids, dtype=object, count=self._n
+            )
+        return self._oid_col
+
     def object_mask(self, oid: Hashable) -> np.ndarray:
         """Boolean mask over rows selecting one object's samples."""
-        mask = np.zeros(len(self._ts), dtype=bool)
-        mask[self._by_object.get(oid, [])] = True
+        mask = np.zeros(self._n, dtype=bool)
+        mask[self._object_rows().get(oid, [])] = True
         return mask
+
+    def _object_rows(self) -> Dict[Hashable, List[int]]:
+        """``oid -> row indices`` in insertion order (built lazily)."""
+        if self._by_object is None:
+            oids = self._oids if self._oids is not None else self.oid_column()
+            by_object: Dict[Hashable, List[int]] = {}
+            for index, oid in enumerate(oids):
+                rows = by_object.get(oid)
+                if rows is None:
+                    by_object[oid] = [index]
+                else:
+                    rows.append(index)
+            self._by_object = by_object
+        return self._by_object
 
     # -- per-object histories ------------------------------------------------------------
 
-    def history(self, oid: Hashable) -> List[Tuple[float, float, float]]:
-        """Return one object's ``(t, x, y)`` samples sorted by time."""
-        indices = self._by_object.get(oid)
+    def _object_order(self, oid: Hashable) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(sorted times, row indices sorted by time)`` of one object."""
+        cached = self._order.get(oid)
+        if cached is not None:
+            return cached
+        indices = self._object_rows().get(oid)
         if not indices:
             raise TrajectoryError(f"no samples for object {oid!r}")
-        return sorted(
-            (self._ts[i], self._xs[i], self._ys[i]) for i in indices
-        )
+        rows = np.asarray(indices, dtype=np.intp)
+        t, _, _ = self.as_arrays()
+        times = t[rows]
+        order = np.argsort(times, kind="stable")
+        entry = (times[order], rows[order])
+        self._order[oid] = entry
+        return entry
+
+    def history(self, oid: Hashable) -> List[Tuple[float, float, float]]:
+        """Return one object's ``(t, x, y)`` samples sorted by time."""
+        times, rows = self._object_order(oid)
+        _, x, y = self.as_arrays()
+        return list(zip(times.tolist(), x[rows].tolist(), y[rows].tolist()))
 
     def trajectory_sample(self, oid: Hashable) -> TrajectorySample:
         """Return one object's history as a :class:`TrajectorySample`."""
         return TrajectorySample(self.history(oid))
 
     def position(self, oid: Hashable, t: float) -> Optional[Point]:
-        """Return the *sampled* position of an object at an instant, if any."""
-        for st, x, y in self.history(oid):
-            if st == t:
-                return Point(x, y)
-        return None
+        """Return the *sampled* position of an object at an instant, if any.
+
+        Binary search over the cached time-sorted index — O(log n) per
+        lookup instead of a linear scan of a freshly sorted history.
+        """
+        times, rows = self._object_order(oid)
+        slot = int(np.searchsorted(times, float(t)))
+        if slot == times.shape[0] or times[slot] != float(t):
+            return None
+        row = int(rows[slot])
+        _, x, y = self.as_arrays()
+        return Point(float(x[row]), float(y[row]))
 
     # -- restriction -----------------------------------------------------------------------
 
+    def mask_rows(self, mask: np.ndarray) -> "MOFT":
+        """Return the sub-table of rows selected by a boolean mask.
+
+        Row order is preserved, so the result is row-for-row identical to
+        a per-row rebuild.  The ``(oid, t)`` invariant is inherited from
+        this table — no revalidation happens.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self._n:
+            raise TrajectoryError(
+                f"mask has {mask.shape[0]} entries for {self._n} rows"
+            )
+        t, x, y = self.as_arrays()
+        return MOFT.from_columns(
+            self.oid_column()[mask],
+            t[mask],
+            x[mask],
+            y[mask],
+            name=self.name,
+            validate=False,
+        )
+
     def filter(self, predicate: Callable[[Dict[str, Hashable]], bool]) -> "MOFT":
         """Return a new MOFT with the rows satisfying a row predicate."""
-        result = MOFT(self.name)
-        for row in self.rows():
-            if predicate(row):
-                result.add(row["oid"], row["t"], row["x"], row["y"])
-        return result
+        mask = np.fromiter(
+            (bool(predicate(row)) for row in self.rows()),
+            dtype=bool,
+            count=self._n,
+        )
+        return self.mask_rows(mask)
 
     def restrict_instants(self, instants: Set[float]) -> "MOFT":
         """Keep the samples whose instant is in ``instants``.
@@ -160,23 +337,40 @@ class MOFT:
         This is the paper's ``FM_morning`` construction: the sub-fact-table
         of samples taken at instants rolling up to a temporal member.
         """
-        wanted = {float(t) for t in instants}
-        return self.filter(lambda row: row["t"] in wanted)
+        wanted = np.array(sorted(float(t) for t in set(instants)), dtype=float)
+        t, _, _ = self.as_arrays()
+        if wanted.size == 0:
+            mask = np.zeros(t.shape, dtype=bool)
+        else:
+            # Sorted-membership test: cheaper than np.isin for the small
+            # instant sets temporal rollups produce.
+            slots = np.minimum(
+                np.searchsorted(wanted, t), wanted.size - 1
+            )
+            mask = wanted[slots] == t
+        return self.mask_rows(mask)
 
     def restrict_objects(self, oids: Set[Hashable]) -> "MOFT":
         """Keep the samples of the given objects."""
-        return self.filter(lambda row: row["oid"] in oids)
+        wanted = set(oids)
+        mask = np.zeros(self._n, dtype=bool)
+        for oid, rows in self._object_rows().items():
+            if oid in wanted:
+                mask[rows] = True
+        return self.mask_rows(mask)
 
     def time_range(self) -> Tuple[float, float]:
         """Return ``(min t, max t)`` over all samples."""
-        if not self._ts:
+        if self._n == 0:
             raise TrajectoryError(f"MOFT {self.name!r} is empty")
-        return (min(self._ts), max(self._ts))
+        t, _, _ = self.as_arrays()
+        return (float(t.min()), float(t.max()))
 
     def bbox(self) -> BoundingBox:
         """Spatial bounding box over all sampled positions."""
-        if not self._ts:
+        if self._n == 0:
             raise TrajectoryError(f"MOFT {self.name!r} is empty")
+        _, x, y = self.as_arrays()
         return BoundingBox(
-            min(self._xs), min(self._ys), max(self._xs), max(self._ys)
+            float(x.min()), float(y.min()), float(x.max()), float(y.max())
         )

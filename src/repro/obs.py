@@ -1,0 +1,216 @@
+"""Pipeline observability: named counters and per-stage wall-clock timers.
+
+The Section 5 pipeline (geometric subquery → index build → trajectory
+segment scan) is the workload the benchmarks ablate, and every stage used
+to carry its own ad-hoc statistics object (``EvaluationStats`` fields,
+the ``EvaluationContext.stats`` dict, per-benchmark counters).  This
+module generalizes them into one small instrumentation vocabulary:
+
+* :class:`PipelineStats` — a bag of *named counters* (``incr``/``count``)
+  and *named stage timers* (``stage`` context manager accumulating call
+  counts and seconds);
+* :class:`EvaluationStats` — the historical trajectory-scan statistics,
+  now a :class:`PipelineStats` specialization whose legacy attributes
+  (``segment_checks``, ``bbox_rejections``, …) are views over named
+  counters, so new code and old code observe the same numbers.
+
+Counter names used by the built-in pipeline (see ``docs/API.md``):
+
+``grid_index_builds`` / ``grid_index_cache_hits``
+    :meth:`repro.query.EvaluationContext.geometry_index` cache behavior.
+``vectorized_accepts``
+    Objects accepted by the columnar point-in-polygon prefilter without a
+    segment scan.
+``segment_checks`` / ``bbox_rejections`` / ``objects_scanned`` /
+``objects_matched``
+    The trajectory-intersection counter (both indexed and naive paths).
+
+Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class StageTimer:
+    """Accumulated wall time of one named pipeline stage."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self, calls: int = 0, seconds: float = 0.0) -> None:
+        self.calls = calls
+        self.seconds = seconds
+
+    def record(self, seconds: float) -> None:
+        """Add one timed call."""
+        self.calls += 1
+        self.seconds += seconds
+
+    def __repr__(self) -> str:
+        return f"StageTimer(calls={self.calls}, seconds={self.seconds:.6f})"
+
+
+class PipelineStats:
+    """Named counters plus per-stage timers for one pipeline run.
+
+    Counters spring into existence at zero on first use; stages likewise.
+    Instances are cheap and composable — evaluation entry points accept an
+    optional instance and create a throwaway one when none is given.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.stages: Dict[str, StageTimer] = {}
+
+    # -- counters ------------------------------------------------------------
+
+    def incr(self, name: str, by: int = 1) -> int:
+        """Add ``by`` to a named counter; returns the new value."""
+        value = self.counters.get(name, 0) + by
+        self.counters[name] = value
+        return value
+
+    def count(self, name: str) -> int:
+        """Current value of a named counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------------
+
+    def timer(self, name: str) -> StageTimer:
+        """Return (creating if needed) the timer of a named stage."""
+        timer = self.stages.get(name)
+        if timer is None:
+            timer = self.stages[name] = StageTimer()
+        return timer
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageTimer]:
+        """Time a ``with`` block under a stage name (re-entrant, additive)."""
+        timer = self.timer(name)
+        start = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.record(time.perf_counter() - start)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of a stage (0.0 if never entered)."""
+        timer = self.stages.get(name)
+        return timer.seconds if timer is not None else 0.0
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        """Fold another instance's counters and timers into this one."""
+        for name, value in other.counters.items():
+            self.incr(name, value)
+        for name, timer in other.stages.items():
+            mine = self.timer(name)
+            mine.calls += timer.calls
+            mine.seconds += timer.seconds
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self.counters.clear()
+        self.stages.clear()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat report: counters verbatim, stages as ``<name>_seconds``."""
+        report: Dict[str, float] = dict(self.counters)
+        for name, timer in self.stages.items():
+            report[f"{name}_seconds"] = timer.seconds
+            report[f"{name}_calls"] = timer.calls
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(counters={self.counters}, "
+            f"stages={self.stages})"
+        )
+
+
+def _legacy_counter(name: str) -> property:
+    """An attribute view over a named counter (supports ``stats.x += 1``)."""
+
+    def _get(self: "EvaluationStats") -> int:
+        return self.count(name)
+
+    def _set(self: "EvaluationStats", value: int) -> None:
+        self.counters[name] = int(value)
+
+    return property(_get, _set, doc=f"View over the {name!r} counter.")
+
+
+class EvaluationStats(PipelineStats):
+    """Trajectory-scan statistics of one evaluation (Section 5, step 2).
+
+    Historically a fixed dataclass; now the fixed fields are views over
+    :class:`PipelineStats` named counters so the scan shares one
+    instrumentation vocabulary with the rest of the pipeline.  Extra
+    counters (``vectorized_accepts``, index cache counters merged in from
+    a context) ride along in :attr:`counters` and show up in
+    :meth:`as_dict`.
+    """
+
+    #: The stage name backing :attr:`elapsed_seconds`.
+    SCAN_STAGE = "segment_scan"
+
+    segment_checks = _legacy_counter("segment_checks")
+    bbox_rejections = _legacy_counter("bbox_rejections")
+    objects_scanned = _legacy_counter("objects_scanned")
+    objects_matched = _legacy_counter("objects_matched")
+
+    def __init__(
+        self,
+        segment_checks: int = 0,
+        bbox_rejections: int = 0,
+        objects_scanned: int = 0,
+        objects_matched: int = 0,
+        elapsed_seconds: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if segment_checks:
+            self.segment_checks = segment_checks
+        if bbox_rejections:
+            self.bbox_rejections = bbox_rejections
+        if objects_scanned:
+            self.objects_scanned = objects_scanned
+        if objects_matched:
+            self.objects_matched = objects_matched
+        if elapsed_seconds:
+            self.elapsed_seconds = elapsed_seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall seconds of the segment-scan stage."""
+        return self.seconds(self.SCAN_STAGE)
+
+    @elapsed_seconds.setter
+    def elapsed_seconds(self, value: float) -> None:
+        timer = self.timer(self.SCAN_STAGE)
+        timer.seconds = float(value)
+        if timer.calls == 0 and value:
+            timer.calls = 1
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat report; always includes the legacy field names."""
+        report: Dict[str, float] = {
+            "segment_checks": self.segment_checks,
+            "bbox_rejections": self.bbox_rejections,
+            "objects_scanned": self.objects_scanned,
+            "objects_matched": self.objects_matched,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        for name, value in self.counters.items():
+            report.setdefault(name, value)
+        for name, timer in self.stages.items():
+            if name != self.SCAN_STAGE:
+                report[f"{name}_seconds"] = timer.seconds
+        return report
+
+
+__all__ = ["StageTimer", "PipelineStats", "EvaluationStats"]

@@ -16,7 +16,10 @@ from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
 from repro.errors import PietQLExecutionError
 from repro.pietql import ast
 from repro.pietql.parser import parse
-from repro.query.evaluator import TrajectoryIntersectionCounter
+from repro.query.evaluator import (
+    EvaluationStats,
+    TrajectoryIntersectionCounter,
+)
 from repro.query.region import EvaluationContext
 
 
@@ -69,6 +72,19 @@ class PietQLExecutor:
         if ref.name in self.bindings:
             binding = self.bindings[ref.name]
             if sublevel is not None and sublevel != binding.kind:
+                try:
+                    kinds = self.context.gis.layer(binding.layer).kinds()
+                except Exception:
+                    raise PietQLExecutionError(
+                        f"binding {ref.name!r} points at unknown layer "
+                        f"{binding.layer!r}"
+                    ) from None
+                if sublevel not in kinds:
+                    raise PietQLExecutionError(
+                        f"layer {binding.layer!r} (bound as {ref.name!r}) "
+                        f"has no elements of kind {sublevel!r}; "
+                        f"available: {sorted(kinds)}"
+                    )
                 return LayerBinding(binding.layer, sublevel)
             return binding
         try:
@@ -176,6 +192,10 @@ class PietQLExecutor:
 
     def execute_geometric(self, geo: ast.GeometricQuery) -> Set[Hashable]:
         """Evaluate the geometric part to target-element ids."""
+        with self.context.obs.stage("geometric_subquery"):
+            return self._execute_geometric(geo)
+
+    def _execute_geometric(self, geo: ast.GeometricQuery) -> Set[Hashable]:
         target_ref = geo.target
         result: Optional[Set[Hashable]] = None
         for condition in geo.conditions:
@@ -219,31 +239,39 @@ class PietQLExecutor:
         geo: ast.GeometricQuery,
         geometry_ids: Set[Hashable],
     ) -> Tuple[float, Set[Hashable]]:
+        obs = self.context.obs
         moft = self.context.moft(mo.moft_name)
-        for clause in mo.during:
-            member: Hashable = clause.member
-            instants = self.context.time.instants_where(clause.level, member)
-            if not instants and clause.member.replace(".", "", 1).isdigit():
-                # Numeric members may be stored as numbers.
+        with obs.stage("during_restriction"):
+            for clause in mo.during:
+                member: Hashable = clause.member
                 instants = self.context.time.instants_where(
-                    clause.level, float(clause.member)
-                ) | self.context.time.instants_where(
-                    clause.level, int(float(clause.member))
+                    clause.level, member
                 )
-            moft = moft.restrict_instants({float(t) for t in instants})
+                if not instants and clause.member.replace(".", "", 1).isdigit():
+                    # Numeric members may be stored as numbers.
+                    instants = self.context.time.instants_where(
+                        clause.level, float(clause.member)
+                    ) | self.context.time.instants_where(
+                        clause.level, int(float(clause.member))
+                    )
+                moft = moft.restrict_instants({float(t) for t in instants})
         if mo.through_result:
-            if not geometry_ids:
+            if not geometry_ids or len(moft) == 0:
                 return 0.0, set()
             binding = self.resolve(geo.target)
             elements = self.context.gis.layer(binding.layer).elements(
                 binding.kind
             )
             counter = TrajectoryIntersectionCounter(
-                {gid: elements[gid] for gid in geometry_ids}
+                {gid: elements[gid] for gid in geometry_ids},
+                index=self.context.geometry_index(
+                    binding.layer, binding.kind, geometry_ids
+                ),
+                vectorized_prefilter=True,
             )
-            if len(moft) == 0:
-                return 0.0, set()
-            matched = counter.matching_objects(moft)
+            stats = EvaluationStats()
+            matched = counter.matching_objects(moft, stats)
+            obs.merge(stats)
         else:
             matched = moft.objects()
         if mo.count_what == "OBJECTS":

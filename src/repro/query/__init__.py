@@ -7,6 +7,7 @@ pipeline of Section 5 evaluates geometry-heavy queries over precomputed
 overlays.
 """
 
+from repro.obs import PipelineStats, StageTimer
 from repro.query import ast
 from repro.query.region import EvaluationContext, SpatioTemporalRegion
 from repro.query.aggregate import (
@@ -45,6 +46,8 @@ __all__ = [
     "classify",
     "RegionBuilder",
     "EvaluationStats",
+    "PipelineStats",
+    "StageTimer",
     "TrajectoryIntersectionCounter",
     "count_objects_through",
     "geometric_subquery",

@@ -18,9 +18,11 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError, QueryError
+from repro.geometry.index import UniformGridIndex, index_for_geometries
 from repro.geometry.point import Point
 from repro.gis.instance import GISDimensionInstance
 from repro.mo.moft import MOFT
+from repro.obs import PipelineStats
 from repro.mo.operations import ever_within_distance, passes_through
 from repro.mo.trajectory import LinearInterpolationTrajectory
 from repro.query import ast
@@ -63,12 +65,19 @@ class EvaluationContext:
         self._trajectory_cache: Dict[
             Tuple[str, Hashable], LinearInterpolationTrajectory
         ] = {}
-        # Statistics for benchmarking the two strategies.
-        self.stats: Dict[str, int] = {
-            "geometry_checks": 0,
-            "overlay_hits": 0,
-            "trajectory_builds": 0,
-        }
+        # Pipeline observability: named counters + per-stage timers.  The
+        # legacy ``stats`` dict is a live view over the observer's
+        # counters, so both vocabularies see the same numbers.
+        self.obs = PipelineStats()
+        self.stats: Dict[str, int] = self.obs.counters
+        for counter in ("geometry_checks", "overlay_hits", "trajectory_builds"):
+            self.stats[counter] = 0
+        # Grid indexes keyed by (layer, kind, answer-id-set); repeated
+        # queries over the same geometric answer reuse the index instead
+        # of rebuilding it per query.
+        self._grid_cache: Dict[
+            Tuple[str, str, frozenset], UniformGridIndex
+        ] = {}
 
     # -- data access ----------------------------------------------------------
 
@@ -82,6 +91,40 @@ class EvaluationContext:
     def locate_point(self, layer: str, kind: str, point: Point) -> Set[Hashable]:
         """Evaluate the point rollup relation at a point."""
         return self.gis.point_rollup(layer, kind, point)
+
+    def geometry_index(
+        self,
+        layer: str,
+        kind: str,
+        ids: Iterable[Hashable],
+        obs: Optional[PipelineStats] = None,
+    ) -> UniformGridIndex:
+        """A grid index over one geometric answer, cached per id set.
+
+        The Section 5 pipeline rebuilds its candidate filter from the
+        geometric subquery's answer; answers repeat across queries (the
+        subquery is cheap against the overlay and often identical), so
+        the index is cached under ``(layer, kind, frozenset(ids))``.
+        Cache behavior is counted as ``grid_index_builds`` /
+        ``grid_index_cache_hits`` on the context observer (and on ``obs``
+        when given); build time lands in the ``index_build`` stage.
+        """
+        key = (layer, kind, frozenset(ids))
+        observers = [self.obs] if obs is None else [self.obs, obs]
+        index = self._grid_cache.get(key)
+        if index is not None:
+            for observer in observers:
+                observer.incr("grid_index_cache_hits")
+            return index
+        for observer in observers:
+            observer.incr("grid_index_builds")
+        elements = self.gis.layer(layer).elements(kind)
+        with self.obs.stage("index_build"):
+            index = index_for_geometries(
+                {gid: elements[gid] for gid in key[2]}
+            )
+        self._grid_cache[key] = index
+        return index
 
     # -- geometry relations (overlay vs naive) ------------------------------------
 

@@ -111,7 +111,8 @@ def samples_in_polygons(
         mask = np.isin(t, allowed)
     if not mask.any():
         return set()
-    xs, ys, ts = x[mask], y[mask], t[mask]
+    rows = np.flatnonzero(mask)
+    xs, ys, ts = x[rows], y[rows], t[rows]
     hit = np.zeros(xs.shape, dtype=bool)
     for polygon in polygons:
         pending = ~hit
@@ -129,9 +130,10 @@ def samples_in_polygons(
             continue
         idx = np.flatnonzero(candidates)
         hit[idx] |= polygon_contains_batch(polygon, xs[idx], ys[idx])
-    oids = [row for row, keep in zip(moft.tuples(), mask) if keep]
+    # Recover (oid, t) for the hits by indexing the oid column directly —
+    # no per-row tuple materialization of the whole table.
+    oid_column = moft.oid_column()
+    hit_rows = rows[hit]
     return {
-        (oid, float(instant))
-        for (oid, instant, _, _), is_hit in zip(oids, hit)
-        if is_hit
+        (oid_column[row], float(t[row])) for row in hit_rows
     }

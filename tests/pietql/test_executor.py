@@ -47,11 +47,52 @@ class TestBindingResolution:
         with pytest.raises(PietQLExecutionError):
             executor.resolve(LayerRef("atlantis"))
 
-    def test_sublevel_overrides(self, executor):
+    def test_sublevel_overrides(self):
+        """A sublevel override resolves when the layer holds that kind."""
+        from repro.geometry import Point, Polyline, Segment
+        from repro.gis import (
+            ALL,
+            LINE,
+            POINT,
+            GISDimensionInstance,
+            GISDimensionSchema,
+            LayerHierarchy,
+        )
+        from repro.pietql.ast import LayerRef
+        from repro.temporal.timedim import TimeDimension
+
+        rivers = LayerHierarchy(
+            "Lr", [(POINT, LINE), (LINE, POLYLINE), (POLYLINE, ALL)]
+        )
+        gis = GISDimensionInstance(GISDimensionSchema([rivers], [], []))
+        gis.add_geometry(
+            "Lr", POLYLINE, "pl1", Polyline([Point(0, 0), Point(1, 0)])
+        )
+        gis.add_geometry("Lr", LINE, "ln1", Segment(Point(0, 0), Point(1, 0)))
+        time = TimeDimension.from_explicit_rollups(
+            [("timeId", 1, "hour", 1)]
+        )
+        executor = PietQLExecutor(
+            EvaluationContext(gis, time),
+            {"rivers": LayerBinding("Lr", POLYLINE)},
+        )
+        binding = executor.resolve(LayerRef("rivers"), LINE)
+        assert (binding.layer, binding.kind) == ("Lr", LINE)
+
+    def test_sublevel_unknown_kind_raises(self, executor):
+        """Regression: a bad sublevel on a *bound* layer used to leak a
+        raw error from deep inside the overlay instead of failing at
+        resolution time."""
         from repro.pietql.ast import LayerRef
 
-        binding = executor.resolve(LayerRef("rivers"), "line")
-        assert binding.kind == "line"
+        with pytest.raises(PietQLExecutionError, match="no elements of kind"):
+            executor.resolve(LayerRef("rivers"), "line")
+        with pytest.raises(PietQLExecutionError, match="no elements of kind"):
+            executor.execute(
+                "SELECT layer.neighborhoods FROM Fig1 WHERE "
+                "(layer.neighborhoods) CONTAINS "
+                "(layer.neighborhoods, layer.schools, sublevel.point)"
+            )
 
 
 class TestGeometricExecution:

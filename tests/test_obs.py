@@ -1,0 +1,128 @@
+"""Tests for the pipeline observability module (repro.obs)."""
+
+import time
+
+import pytest
+
+from repro.obs import EvaluationStats, PipelineStats, StageTimer
+
+
+class TestCounters:
+    def test_start_at_zero(self):
+        stats = PipelineStats()
+        assert stats.count("anything") == 0
+
+    def test_incr_and_count(self):
+        stats = PipelineStats()
+        assert stats.incr("hits") == 1
+        assert stats.incr("hits", 4) == 5
+        assert stats.count("hits") == 5
+        assert stats.counters == {"hits": 5}
+
+    def test_as_dict_includes_counters(self):
+        stats = PipelineStats()
+        stats.incr("a", 2)
+        assert stats.as_dict()["a"] == 2
+
+
+class TestStages:
+    def test_stage_accumulates_calls_and_seconds(self):
+        stats = PipelineStats()
+        for _ in range(3):
+            with stats.stage("scan"):
+                time.sleep(0.001)
+        timer = stats.stages["scan"]
+        assert timer.calls == 3
+        assert timer.seconds > 0
+        assert stats.seconds("scan") == timer.seconds
+
+    def test_stage_records_on_exception(self):
+        stats = PipelineStats()
+        with pytest.raises(ValueError):
+            with stats.stage("boom"):
+                raise ValueError("x")
+        assert stats.stages["boom"].calls == 1
+
+    def test_unentered_stage_is_zero(self):
+        assert PipelineStats().seconds("nope") == 0.0
+
+    def test_as_dict_reports_stage_suffixes(self):
+        stats = PipelineStats()
+        with stats.stage("scan"):
+            pass
+        report = stats.as_dict()
+        assert report["scan_calls"] == 1
+        assert report["scan_seconds"] >= 0
+
+
+class TestMergeReset:
+    def test_merge_folds_counters_and_stages(self):
+        a, b = PipelineStats(), PipelineStats()
+        a.incr("n", 1)
+        b.incr("n", 2)
+        b.incr("only_b")
+        with b.stage("s"):
+            pass
+        a.merge(b)
+        assert a.count("n") == 3
+        assert a.count("only_b") == 1
+        assert a.stages["s"].calls == 1
+
+    def test_reset(self):
+        stats = PipelineStats()
+        stats.incr("n")
+        with stats.stage("s"):
+            pass
+        stats.reset()
+        assert stats.counters == {}
+        assert stats.stages == {}
+
+
+class TestEvaluationStats:
+    def test_legacy_attributes_are_counters(self):
+        stats = EvaluationStats()
+        stats.segment_checks += 1
+        stats.segment_checks += 1
+        stats.bbox_rejections += 5
+        assert stats.segment_checks == 2
+        assert stats.count("segment_checks") == 2
+        assert stats.counters["bbox_rejections"] == 5
+
+    def test_constructor_kwargs(self):
+        stats = EvaluationStats(segment_checks=3, elapsed_seconds=0.5)
+        assert stats.segment_checks == 3
+        assert stats.elapsed_seconds == 0.5
+
+    def test_elapsed_seconds_backed_by_scan_stage(self):
+        stats = EvaluationStats()
+        with stats.stage(EvaluationStats.SCAN_STAGE):
+            time.sleep(0.001)
+        assert stats.elapsed_seconds > 0
+
+    def test_as_dict_always_has_legacy_keys(self):
+        report = EvaluationStats().as_dict()
+        for key in (
+            "segment_checks",
+            "bbox_rejections",
+            "objects_scanned",
+            "objects_matched",
+            "elapsed_seconds",
+        ):
+            assert key in report
+
+    def test_as_dict_carries_extra_counters(self):
+        stats = EvaluationStats()
+        stats.incr("vectorized_accepts", 7)
+        assert stats.as_dict()["vectorized_accepts"] == 7
+
+    def test_is_pipeline_stats(self):
+        assert isinstance(EvaluationStats(), PipelineStats)
+
+
+class TestStageTimer:
+    def test_record(self):
+        timer = StageTimer()
+        timer.record(0.25)
+        timer.record(0.25)
+        assert timer.calls == 2
+        assert timer.seconds == 0.5
