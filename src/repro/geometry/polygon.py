@@ -317,16 +317,31 @@ class Polygon:
             if s1 - s0 <= 1e-12:
                 continue
             mid = segment.point_at((s0 + s1) / 2)
-            inside = self.contains_point(mid) or any(
-                edge.distance_to_point(mid) <= tolerance
-                for edge in self.boundary_segments()
-            )
+            inside = self.contains_point(mid)
+            if not inside and self._near_boundary(mid, tolerance):
+                # Candidate boundary-sliding piece.  The cut set only
+                # contains true boundary crossings, so a piece can drift
+                # in and out of the tolerance band without a cut; demand
+                # the piece endpoints hug the region too, or a segment
+                # passing just outside a (near-degenerate) edge would be
+                # swallowed whole.
+                inside = all(
+                    self.contains_point(p) or self._near_boundary(p, tolerance)
+                    for p in (segment.point_at(s0), segment.point_at(s1))
+                )
             if inside:
                 if intervals and math.isclose(intervals[-1][1], s0, abs_tol=1e-12):
                     intervals[-1] = (intervals[-1][0], s1)
                 else:
                     intervals.append((s0, s1))
         return intervals
+
+    def _near_boundary(self, point: Point, tolerance: float) -> bool:
+        """True when ``point`` lies within ``tolerance`` of any edge."""
+        return any(
+            edge.distance_to_point(point) <= tolerance
+            for edge in self.boundary_segments()
+        )
 
     def clipped_segment_length(self, segment: Segment) -> float:
         """Return the length of the part of ``segment`` inside the region."""

@@ -359,6 +359,85 @@ class MOFT:
                 mask[rows] = True
         return self.mask_rows(mask)
 
+    # -- partitioning ----------------------------------------------------------------
+
+    def partition_by_objects(self, n: int) -> List["MOFT"]:
+        """Split into ``n`` shards, each holding whole objects.
+
+        Every object's samples land in exactly one shard, so trajectory
+        semantics (interpolation between consecutive samples) survive the
+        split — the property parallel trajectory queries rely on.  Objects
+        are assigned greedily by descending sample count to the least
+        loaded shard (deterministic: ties break on the object id's repr),
+        so shards are balanced by row count, not object count.
+
+        Shards are built by :meth:`mask_rows` — whole-column boolean
+        slicing, no per-row copies.  Some shards may be empty when the
+        table has fewer objects than ``n``.
+        """
+        if n < 1:
+            raise TrajectoryError(f"shard count must be >= 1, got {n}")
+        by_object = self._object_rows()
+        ordered = sorted(
+            by_object.items(), key=lambda kv: (-len(kv[1]), repr(kv[0]))
+        )
+        loads = [0] * n
+        masks = [np.zeros(self._n, dtype=bool) for _ in range(n)]
+        for oid, rows in ordered:
+            shard = min(range(n), key=lambda s: (loads[s], s))
+            loads[shard] += len(rows)
+            masks[shard][rows] = True
+        return [self.mask_rows(mask) for mask in masks]
+
+    def partition_by_time(self, n: int) -> List["MOFT"]:
+        """Split into ``n`` shards of contiguous, disjoint instant ranges.
+
+        The distinct instants are sorted and cut into ``n`` nearly equal
+        runs; shard ``i`` keeps every sample whose instant falls in run
+        ``i``.  The shards are disjoint and their union is the whole
+        table.  Note that an object's trajectory may span several shards:
+        segments between samples on opposite sides of a cut exist in
+        neither shard, so interpolation-sensitive queries must partition
+        by objects instead (see ``docs/API.md``).
+        """
+        if n < 1:
+            raise TrajectoryError(f"shard count must be >= 1, got {n}")
+        t, _, _ = self.as_arrays()
+        instants = np.unique(t)
+        groups = np.array_split(instants, n)
+        shards: List[MOFT] = []
+        for group in groups:
+            if group.size == 0:
+                shards.append(self.mask_rows(np.zeros(self._n, dtype=bool)))
+                continue
+            mask = (t >= group[0]) & (t <= group[-1])
+            shards.append(self.mask_rows(mask))
+        return shards
+
+    @classmethod
+    def concat(
+        cls, shards: Sequence["MOFT"], name: str = "FM", validate: bool = True
+    ) -> "MOFT":
+        """Concatenate tables column-wise into one MOFT.
+
+        The inverse of the partitioners up to row order: concatenating the
+        shards of either partitioner yields a row-*set*-identical table.
+        Pass ``validate=False`` only when the inputs are known disjoint in
+        ``(oid, t)`` — e.g. shards of one valid table.
+        """
+        tables = [shard for shard in shards if len(shard)]
+        if not tables:
+            return cls(name)
+        columns = [table.as_arrays() for table in tables]
+        return cls.from_columns(
+            np.concatenate([table.oid_column() for table in tables]),
+            np.concatenate([t for t, _, _ in columns]),
+            np.concatenate([x for _, x, _ in columns]),
+            np.concatenate([y for _, _, y in columns]),
+            name=name,
+            validate=validate,
+        )
+
     def time_range(self) -> Tuple[float, float]:
         """Return ``(min t, max t)`` over all samples."""
         if self._n == 0:

@@ -25,7 +25,15 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
 ``objects_matched``
     The trajectory-intersection counter (both indexed and naive paths).
 
-Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``.
+``shard_count`` / ``merge_ms``
+    :class:`repro.parallel.ShardedExecutor` fan-out: shards dispatched,
+    and merge wall time rounded to milliseconds (the exact figure is the
+    ``merge`` stage timer).
+
+Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``;
+the sharded executor adds ``shard_fanout`` (dispatch-to-last-result wall
+time), ``shard_scan`` (per-shard work, one call per shard, summed across
+shards) and ``merge``.
 """
 
 from __future__ import annotations
@@ -95,6 +103,17 @@ class PipelineStats:
             yield timer
         finally:
             timer.record(time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> StageTimer:
+        """Record one externally-timed call under a stage name.
+
+        The sharded executor uses this for per-shard timings: workers
+        (possibly in other processes) measure their own wall time and the
+        parent folds each measurement into its observer.
+        """
+        timer = self.timer(name)
+        timer.record(float(seconds))
+        return timer
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds of a stage (0.0 if never entered)."""

@@ -1,0 +1,48 @@
+"""Sharding + parallel execution for MOFT queries.
+
+``MOFT.partition_by_objects`` / ``partition_by_time`` cut the columnar
+fact table into shard MOFTs; :class:`ShardedExecutor` fans query work out
+over a pluggable backend (``serial`` / ``threads`` / ``processes``) and
+merges exact partial results; :class:`ShardedPietQLExecutor` does the
+same for Piet-QL queries.  See ``docs/API.md`` ("repro.parallel") for
+merge semantics and the differential-oracle harness that verifies every
+optimized path against the serial seed implementation.
+"""
+
+from repro.parallel.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_cpus,
+    get_backend,
+)
+from repro.parallel.executor import (
+    ShardedExecutor,
+    ShardedPietQLExecutor,
+    sharded_count_objects_through,
+)
+from repro.parallel.merge import (
+    intersect_ids,
+    sum_counts,
+    sum_groups,
+    union_ids,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_cpus",
+    "get_backend",
+    "ShardedExecutor",
+    "ShardedPietQLExecutor",
+    "sharded_count_objects_through",
+    "union_ids",
+    "intersect_ids",
+    "sum_groups",
+    "sum_counts",
+]

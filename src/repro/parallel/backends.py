@@ -1,0 +1,135 @@
+"""Pluggable execution backends for sharded query evaluation.
+
+A backend is anything with a ``map(fn, items)`` returning the results in
+item order.  Three are built in:
+
+* :class:`SerialBackend` — a plain loop in the calling thread; the
+  baseline every differential test compares against, and the right
+  choice for tiny inputs where fan-out overhead dominates;
+* :class:`ThreadBackend` — ``concurrent.futures.ThreadPoolExecutor``;
+  helps when shard work releases the GIL (NumPy batch predicates);
+* :class:`ProcessBackend` — ``concurrent.futures.ProcessPoolExecutor``;
+  true multi-core parallelism for the pure-Python segment scans.  Task
+  functions must be module-level and payloads picklable.
+
+:func:`get_backend` resolves a backend from its registry name (or passes
+an instance through), so callers can say ``backend="processes"``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import EvaluationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware, never below 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+class ExecutionBackend:
+    """Maps a function over shard payloads; subclasses define the how."""
+
+    #: Registry name (also used in reports and error messages).
+    name = "base"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in item order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """The seed path: evaluate shards one after another, in-process."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared sizing logic for the pool-based backends."""
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise EvaluationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+
+    def _workers_for(self, n_items: int) -> int:
+        limit = self.max_workers or available_cpus()
+        return max(1, min(limit, n_items))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadBackend(_PoolBackend):
+    """Fan shards out over a thread pool."""
+
+    name = "threads"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(
+            max_workers=self._workers_for(len(items))
+        ) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessBackend(_PoolBackend):
+    """Fan shards out over worker processes.
+
+    ``fn`` must be defined at module level and every payload picklable —
+    the sharded executor's task functions satisfy both.
+    """
+
+    name = "processes"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(
+            max_workers=self._workers_for(len(items))
+        ) as pool:
+            return list(pool.map(fn, items))
+
+
+#: Name -> backend class, for ``backend="<name>"`` resolution.
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def get_backend(
+    backend: "str | ExecutionBackend", max_workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through unchanged)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(BACKENDS)} or an ExecutionBackend instance"
+        ) from None
+    if cls is SerialBackend:
+        return cls()
+    return cls(max_workers=max_workers)

@@ -1,0 +1,346 @@
+"""Sharded, parallel evaluation of MOFT queries.
+
+The Section 5 pipeline is embarrassingly parallel in its expensive step:
+the trajectory scan touches each object independently, so a MOFT split by
+:meth:`~repro.mo.moft.MOFT.partition_by_objects` can be scanned shard by
+shard and the per-shard answers merged exactly (disjoint object sets —
+set union).  :class:`ShardedExecutor` packages that recipe:
+
+* a pluggable :mod:`backend <repro.parallel.backends>` (``serial`` /
+  ``threads`` / ``processes``) runs the shard tasks;
+* per-query merge functions (:mod:`repro.parallel.merge`) fold partials;
+* every fan-out is instrumented on the executor's
+  :class:`~repro.obs.PipelineStats`: ``shard_count`` / ``merge_ms``
+  counters plus ``shard_fanout`` / ``shard_scan`` / ``merge`` stage
+  timers (per-shard wall times are measured inside the workers and
+  recorded by the parent, so they are honest across processes).
+
+Correctness is guarded externally: ``tests/parallel/oracle.py`` runs
+every covered query through the seed serial path and every backend and
+asserts result equality.  Semantics note: trajectory queries must shard
+by *objects* — ``partition_by_time`` cuts trajectories at shard
+boundaries and loses the interpolated segments that cross a cut.
+
+Worker task functions live at module level and their payloads are
+picklable, as the ``processes`` backend requires.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from repro.errors import EvaluationError
+from repro.mo.moft import MOFT
+from repro.obs import EvaluationStats, PipelineStats
+from repro.parallel.backends import (
+    ExecutionBackend,
+    available_cpus,
+    get_backend,
+)
+from repro.parallel.merge import intersect_ids, sum_groups, union_ids
+from repro.pietql import ast as pietql_ast
+from repro.pietql.executor import LayerBinding, PietQLExecutor
+from repro.query.evaluator import TrajectoryIntersectionCounter
+from repro.query.region import EvaluationContext
+
+V = TypeVar("V")
+M = TypeVar("M")
+
+#: A shard task's return: (value, worker wall seconds, worker stats).
+ShardOutcome = Tuple[V, float, Optional[PipelineStats]]
+
+
+# -- module-level worker tasks (picklable for the processes backend) ----------
+
+
+def _scan_task(
+    payload: Tuple[TrajectoryIntersectionCounter, MOFT]
+) -> ShardOutcome[Set[Hashable]]:
+    """Run a trajectory-intersection scan over one MOFT shard."""
+    counter, shard = payload
+    stats = EvaluationStats()
+    start = time.perf_counter()
+    matched = counter.matching_objects(shard, stats)
+    return matched, time.perf_counter() - start, stats
+
+
+def _condition_task(
+    payload: Tuple[PietQLExecutor, "pietql_ast.GeoCondition", "pietql_ast.LayerRef"]
+) -> ShardOutcome[Set[Hashable]]:
+    """Answer one Piet-QL WHERE condition to target-element ids."""
+    executor, condition, target_ref = payload
+    start = time.perf_counter()
+    ids = executor._condition_ids(condition, target_ref)
+    return ids, time.perf_counter() - start, None
+
+
+def _apply_task(payload: Tuple[Callable[[MOFT], V], MOFT]) -> ShardOutcome[V]:
+    """Apply a user shard function (module-level for processes) to a shard."""
+    fn, shard = payload
+    start = time.perf_counter()
+    value = fn(shard)
+    return value, time.perf_counter() - start, None
+
+
+class ShardedExecutor:
+    """Fans MOFT query work out over shards and merges exact partials.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` / ``"threads"`` / ``"processes"`` or an
+        :class:`~repro.parallel.backends.ExecutionBackend` instance.
+    n_shards:
+        How many shards to cut inputs into (default: available CPUs).
+    max_workers:
+        Pool size cap for the thread/process backends.
+    obs:
+        Observer receiving fan-out instrumentation; a fresh
+        :class:`~repro.obs.PipelineStats` when omitted.  Pass
+        ``context.obs`` to fold shard metrics into a context's pipeline
+        report.
+    """
+
+    def __init__(
+        self,
+        backend: "str | ExecutionBackend" = "serial",
+        n_shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        obs: Optional[PipelineStats] = None,
+    ) -> None:
+        self.backend = get_backend(backend, max_workers)
+        self.n_shards = n_shards if n_shards is not None else available_cpus()
+        if self.n_shards < 1:
+            raise EvaluationError(
+                f"shard count must be >= 1, got {self.n_shards}"
+            )
+        self.obs = obs if obs is not None else PipelineStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedExecutor(backend={self.backend.name!r}, "
+            f"n_shards={self.n_shards})"
+        )
+
+    # -- the generic fan-out/merge step ---------------------------------------
+
+    def map_shards(
+        self,
+        fn: Callable[[V], ShardOutcome[M]],
+        payloads: Sequence[V],
+        merge: Callable[[List[M]], object],
+        observers: Sequence[PipelineStats] = (),
+    ) -> object:
+        """Run shard tasks on the backend and merge their values.
+
+        ``fn`` must be a module-level function returning a
+        :data:`ShardOutcome` triple; per-shard wall times land in the
+        ``shard_scan`` stage and any worker stats are folded into the
+        executor's observer (plus ``observers``).
+        """
+        targets = [self.obs] + [
+            extra for extra in observers if extra is not self.obs
+        ]
+        for observer in targets:
+            observer.incr("shard_count", len(payloads))
+        with self.obs.stage("shard_fanout"):
+            outcomes = self.backend.map(fn, payloads)
+        values: List[M] = []
+        for value, seconds, stats in outcomes:
+            for observer in targets:
+                observer.record("shard_scan", seconds)
+                if stats is not None:
+                    observer.merge(stats)
+            values.append(value)
+        start = time.perf_counter()
+        merged = merge(values)
+        elapsed = time.perf_counter() - start
+        for observer in targets:
+            observer.record("merge", elapsed)
+            observer.incr("merge_ms", int(round(elapsed * 1000)))
+        return merged
+
+    # -- trajectory queries ----------------------------------------------------
+
+    def matching_objects(
+        self,
+        counter: TrajectoryIntersectionCounter,
+        moft: MOFT,
+        stats: Optional[EvaluationStats] = None,
+    ) -> Set[Hashable]:
+        """Sharded :meth:`TrajectoryIntersectionCounter.matching_objects`.
+
+        The MOFT is partitioned by objects (each object's whole history in
+        one shard, preserving interpolation semantics); per-shard matched
+        sets are disjoint, so their union is the exact serial answer.
+        """
+        shards = [
+            shard
+            for shard in moft.partition_by_objects(self.n_shards)
+            if len(shard)
+        ]
+        if not shards:
+            return set()
+        observers = (stats,) if stats is not None else ()
+        return self.map_shards(
+            _scan_task,
+            [(counter, shard) for shard in shards],
+            union_ids,
+            observers=observers,
+        )
+
+    def count_objects_through(
+        self,
+        context: EvaluationContext,
+        target: Tuple[str, str],
+        constraints: Sequence[Tuple[str, Tuple[str, str]]],
+        moft_name: str = "FM",
+        use_index: bool = True,
+        early_exit: bool = True,
+        stats: Optional[EvaluationStats] = None,
+        vectorized: bool = True,
+    ) -> int:
+        """Sharded Section 5 pipeline; same signature and semantics as
+        :func:`repro.query.evaluator.count_objects_through`.
+
+        The geometric subquery stays serial (it is cheap against the
+        overlay and not shardable by MOFT rows); only the trajectory scan
+        fans out.
+        """
+        from repro.query.evaluator import count_objects_through
+
+        return count_objects_through(
+            context,
+            target,
+            constraints,
+            moft_name=moft_name,
+            use_index=use_index,
+            early_exit=early_exit,
+            stats=stats,
+            vectorized=vectorized,
+            executor=self,
+        )
+
+    # -- generic sharded aggregation -------------------------------------------
+
+    def aggregate_moft(
+        self,
+        moft: MOFT,
+        shard_fn: Callable[[MOFT], M],
+        merge: Callable[[List[M]], object] = sum_groups,
+        partition: str = "objects",
+    ) -> object:
+        """Fan a per-shard aggregation over a partitioned MOFT.
+
+        ``shard_fn`` maps one shard to a partial (e.g. a ``group -> sum``
+        dict) and must be a module-level function under the ``processes``
+        backend; ``merge`` folds the partials (default: per-group sum).
+        ``partition`` picks the partitioner: ``"objects"`` keeps whole
+        trajectories together, ``"time"`` cuts contiguous instant ranges
+        (exact only for queries that treat samples independently).
+        """
+        if partition == "objects":
+            shards = moft.partition_by_objects(self.n_shards)
+        elif partition == "time":
+            shards = moft.partition_by_time(self.n_shards)
+        else:
+            raise EvaluationError(
+                f"unknown partition {partition!r}; expected 'objects' or 'time'"
+            )
+        payloads = [(shard_fn, shard) for shard in shards if len(shard)]
+        if not payloads:
+            return merge([])
+        return self.map_shards(_apply_task, payloads, merge)
+
+
+class ShardedPietQLExecutor(PietQLExecutor):
+    """A :class:`PietQLExecutor` whose expensive steps fan out over shards.
+
+    * the geometric part evaluates its WHERE conditions as parallel tasks
+      and intersects their id sets (exact: conjunction is condition-wise);
+    * ``THROUGH RESULT`` trajectory scans shard the MOFT by objects and
+      union the per-shard matched sets.
+
+    By default the sharded executor reports into ``context.obs``, so
+    ``shard_count`` / ``merge_ms`` and the shard stage timers appear next
+    to the usual pipeline counters.
+    """
+
+    def __init__(
+        self,
+        context: EvaluationContext,
+        bindings: "Dict[str, LayerBinding] | None" = None,
+        sharded: Optional[ShardedExecutor] = None,
+        backend: "str | ExecutionBackend" = "serial",
+        n_shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(context, bindings)
+        self.sharded = sharded or ShardedExecutor(
+            backend=backend,
+            n_shards=n_shards,
+            max_workers=max_workers,
+            obs=context.obs,
+        )
+
+    def _execute_geometric(
+        self, geo: "pietql_ast.GeometricQuery"
+    ) -> Set[Hashable]:
+        if len(geo.conditions) <= 1:
+            return super()._execute_geometric(geo)
+        payloads = [
+            (self, condition, geo.target) for condition in geo.conditions
+        ]
+        return self.sharded.map_shards(
+            _condition_task, payloads, intersect_ids
+        )
+
+    def _scan_through_result(
+        self,
+        moft: MOFT,
+        binding: LayerBinding,
+        geometry_ids: Set[Hashable],
+    ) -> Set[Hashable]:
+        counter = self._through_result_counter(binding, geometry_ids)
+        stats = EvaluationStats()
+        matched = self.sharded.matching_objects(counter, moft, stats)
+        if self.sharded.obs is not self.context.obs:
+            self.context.obs.merge(stats)
+        return matched
+
+
+def sharded_count_objects_through(
+    context: EvaluationContext,
+    target: Tuple[str, str],
+    constraints: Sequence[Tuple[str, Tuple[str, str]]],
+    moft_name: str = "FM",
+    backend: "str | ExecutionBackend" = "processes",
+    n_shards: Optional[int] = None,
+    stats: Optional[EvaluationStats] = None,
+) -> int:
+    """One-call convenience: sharded Section 5 count with a named backend."""
+    executor = ShardedExecutor(
+        backend=backend, n_shards=n_shards, obs=context.obs
+    )
+    return executor.count_objects_through(
+        context, target, constraints, moft_name=moft_name, stats=stats
+    )
+
+
+__all__ = [
+    "ShardOutcome",
+    "ShardedExecutor",
+    "ShardedPietQLExecutor",
+    "sharded_count_objects_through",
+]

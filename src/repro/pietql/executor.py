@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
 
 from repro.errors import PietQLExecutionError
+from repro.mo.moft import MOFT
 from repro.pietql import ast
 from repro.pietql.parser import parse
 from repro.query.evaluator import (
@@ -233,6 +234,43 @@ class PietQLExecutor:
         )
         return {b for _, b in pairs}
 
+    def _through_result_counter(
+        self, binding: LayerBinding, geometry_ids: Set[Hashable]
+    ) -> TrajectoryIntersectionCounter:
+        """Build the trajectory counter over the geometric answer.
+
+        Shared by the serial scan below and the sharded executor in
+        :mod:`repro.parallel`, so both paths test against identical
+        geometries and the same cached grid index.
+        """
+        elements = self.context.gis.layer(binding.layer).elements(
+            binding.kind
+        )
+        return TrajectoryIntersectionCounter(
+            {gid: elements[gid] for gid in geometry_ids},
+            index=self.context.geometry_index(
+                binding.layer, binding.kind, geometry_ids
+            ),
+            vectorized_prefilter=True,
+        )
+
+    def _scan_through_result(
+        self,
+        moft: MOFT,
+        binding: LayerBinding,
+        geometry_ids: Set[Hashable],
+    ) -> Set[Hashable]:
+        """THROUGH RESULT: objects whose trajectories hit the answer.
+
+        The single-core seed path; :class:`repro.parallel
+        .ShardedPietQLExecutor` overrides this with a sharded scan.
+        """
+        counter = self._through_result_counter(binding, geometry_ids)
+        stats = EvaluationStats()
+        matched = counter.matching_objects(moft, stats)
+        self.context.obs.merge(stats)
+        return matched
+
     def _execute_moving(
         self,
         mo: ast.MovingObjectQuery,
@@ -259,19 +297,7 @@ class PietQLExecutor:
             if not geometry_ids or len(moft) == 0:
                 return 0.0, set()
             binding = self.resolve(geo.target)
-            elements = self.context.gis.layer(binding.layer).elements(
-                binding.kind
-            )
-            counter = TrajectoryIntersectionCounter(
-                {gid: elements[gid] for gid in geometry_ids},
-                index=self.context.geometry_index(
-                    binding.layer, binding.kind, geometry_ids
-                ),
-                vectorized_prefilter=True,
-            )
-            stats = EvaluationStats()
-            matched = counter.matching_objects(moft, stats)
-            obs.merge(stats)
+            matched = self._scan_through_result(moft, binding, geometry_ids)
         else:
             matched = moft.objects()
         if mo.count_what == "OBJECTS":

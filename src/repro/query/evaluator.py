@@ -30,7 +30,17 @@ compatibility.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import EvaluationError
 from repro.geometry.index import UniformGridIndex, index_for_geometries
@@ -38,6 +48,18 @@ from repro.geometry.overlay import geometries_intersect, geometry_bbox
 from repro.mo.moft import MOFT
 from repro.obs import EvaluationStats, PipelineStats
 from repro.query.region import EvaluationContext
+
+class ShardedTrajectoryExecutor(Protocol):
+    """What :func:`count_objects_through` needs from a parallel executor."""
+
+    def matching_objects(
+        self,
+        counter: "TrajectoryIntersectionCounter",
+        moft: MOFT,
+        stats: Optional["EvaluationStats"] = None,
+    ) -> Set[Hashable]:
+        """Return the matched object ids, merged exactly across shards."""
+        ...
 
 
 class TrajectoryIntersectionCounter:
@@ -216,6 +238,7 @@ def count_objects_through(
     early_exit: bool = True,
     stats: Optional[EvaluationStats] = None,
     vectorized: bool = True,
+    executor: Optional["ShardedTrajectoryExecutor"] = None,
 ) -> int:
     """The full Section 5 pipeline: geometric subquery then trajectory scan.
 
@@ -224,6 +247,13 @@ def count_objects_through(
     The grid index over the answer geometries is fetched from the
     context's per-id-set cache, so repeated queries over the same answer
     reuse it instead of rebuilding.
+
+    ``executor`` optionally shards the trajectory scan: anything with a
+    ``matching_objects(counter, moft, stats)`` method — in practice a
+    :class:`repro.parallel.ShardedExecutor` — replaces the in-process
+    scan, fanning shards out over its backend.  The differential oracle
+    suite (``tests/parallel``) asserts the sharded answers equal this
+    serial path.
     """
     ids = geometric_subquery(context, target, constraints, obs=stats)
     if not ids:
@@ -242,11 +272,15 @@ def count_objects_through(
         index=index,
         vectorized_prefilter=vectorized,
     )
-    return counter.count(context.moft(moft_name), stats)
+    moft = context.moft(moft_name)
+    if executor is not None:
+        return len(executor.matching_objects(counter, moft, stats))
+    return counter.count(moft, stats)
 
 
 __all__ = [
     "EvaluationStats",
+    "ShardedTrajectoryExecutor",
     "TrajectoryIntersectionCounter",
     "geometric_subquery",
     "count_objects_through",

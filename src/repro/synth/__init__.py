@@ -7,6 +7,7 @@ from repro.synth.movement import (
     random_waypoint_moft,
     route_following_moft,
 )
+from repro.synth.rng import NumpyRandomSource, RandomLike, resolve_rng
 from repro.synth.warehouse import (
     revenue_of_cities,
     sales_cube,
@@ -28,6 +29,9 @@ from repro.synth.paperdata import (
 )
 
 __all__ = [
+    "NumpyRandomSource",
+    "RandomLike",
+    "resolve_rng",
     "CityConfig",
     "SyntheticCity",
     "build_city",

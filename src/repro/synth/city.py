@@ -24,7 +24,6 @@ Everything derives from ``seed``; equal configs produce equal cities.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -46,6 +45,7 @@ from repro.gis import (
     LayerHierarchy,
 )
 from repro.olap.dimension import DimensionSchema
+from repro.synth.rng import RandomLike, resolve_rng
 
 
 @dataclass(frozen=True)
@@ -129,10 +129,17 @@ class SyntheticCity:
         )
 
 
-def build_city(config: CityConfig | None = None) -> SyntheticCity:
-    """Generate the synthetic city for a config (deterministic in seed)."""
+def build_city(
+    config: CityConfig | None = None, rng: RandomLike = None
+) -> SyntheticCity:
+    """Generate the synthetic city for a config (deterministic in seed).
+
+    An explicit ``rng`` (``numpy.random.Generator``, int seed or
+    ``random.Random``) overrides ``config.seed``; the default keeps the
+    historical ``random.Random(config.seed)`` stream bit-for-bit.
+    """
     config = config or CityConfig()
-    rng = random.Random(config.seed)
+    rng = resolve_rng(config.seed, rng)
     gis = GISDimensionInstance(city_schema())
     size = config.block_size
     width = config.cols * size

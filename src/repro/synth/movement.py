@@ -16,18 +16,21 @@ models:
   entirely: every region query over them degenerates to the paper's
   "worst case [where] the whole trajectory must be checked".
 
-All generators are deterministic in their seed.
+All generators are deterministic in their seed, and every one accepts
+an explicit ``rng`` (``numpy.random.Generator``, int seed or
+``random.Random``; see :mod:`repro.synth.rng`) that overrides ``seed`` —
+the hook the differential-oracle suite uses for reproducible worlds.
 """
 
 from __future__ import annotations
 
-import random
 from typing import List, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.geometry.point import BoundingBox, Point
 from repro.geometry.polyline import Polyline
 from repro.mo.moft import MOFT
+from repro.synth.rng import RandomLike, resolve_rng
 
 
 def _validate(n_objects: int, n_instants: int) -> None:
@@ -45,12 +48,13 @@ def random_waypoint_moft(
     seed: int = 11,
     name: str = "FM",
     oid_prefix: str = "car",
+    rng: RandomLike = None,
 ) -> MOFT:
     """Random-waypoint movement sampled at instants ``0 .. n_instants-1``."""
     _validate(n_objects, n_instants)
     if speed <= 0:
         raise SchemaError("speed must be positive")
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     moft = MOFT(name)
     for index in range(n_objects):
         oid = f"{oid_prefix}{index}"
@@ -85,6 +89,7 @@ def route_following_moft(
     seed: int = 13,
     name: str = "FM",
     oid_prefix: str = "bus",
+    rng: RandomLike = None,
 ) -> MOFT:
     """Objects shuttling back and forth along fixed routes.
 
@@ -96,7 +101,7 @@ def route_following_moft(
     _validate(objects_per_route, n_instants)
     if speed <= 0:
         raise SchemaError("speed must be positive")
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     moft = MOFT(name)
     for route_index, route in enumerate(routes):
         length = route.length
@@ -127,6 +132,7 @@ def commuter_moft(
     seed: int = 17,
     name: str = "FM",
     oid_prefix: str = "commuter",
+    rng: RandomLike = None,
 ) -> MOFT:
     """South-to-north commuters: travel until ``morning_end``, then park.
 
@@ -137,7 +143,7 @@ def commuter_moft(
     _validate(n_objects, n_instants)
     if not 1 <= morning_end < n_instants:
         raise SchemaError("morning_end must lie inside the instant range")
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     moft = MOFT(name)
     south_top = box.min_y + box.height / 3
     north_bottom = box.max_y - box.height / 3
@@ -167,6 +173,7 @@ def adversarial_moft(
     seed: int = 19,
     name: str = "FM",
     oid_prefix: str = "ghost",
+    rng: RandomLike = None,
 ) -> MOFT:
     """Objects whose whole trajectories stay strictly outside ``avoid``.
 
@@ -178,7 +185,7 @@ def adversarial_moft(
     _validate(n_objects, n_instants)
     if margin <= 0:
         raise SchemaError("margin must be positive")
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     moft = MOFT(name)
     band_min_x = avoid.max_x + margin
     band_max_x = avoid.max_x + margin * 10

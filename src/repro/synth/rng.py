@@ -1,0 +1,77 @@
+"""Explicit random-source threading for the synthetic generators.
+
+The movement simulators and the city builder are used as *fixtures* by
+the differential-oracle suite (``tests/parallel``) and the benchmarks:
+two oracle runs must see byte-identical worlds, or a mismatch between the
+serial and parallel paths could be blamed on the data instead of the
+code.  Every generator therefore accepts an ``rng`` argument:
+
+* ``None`` (default) — the legacy ``random.Random(seed)`` stream, kept
+  bit-compatible so existing tests and recorded benchmark numbers do not
+  move;
+* a ``numpy.random.Generator`` — the modern, explicitly-seeded stream;
+  equal generator states produce equal worlds, and ``Generator.spawn``
+  gives independent streams for multi-fixture setups;
+* an ``int`` — shorthand for ``numpy.random.default_rng(rng)``;
+* a ``random.Random`` — threaded through unchanged.
+
+:class:`NumpyRandomSource` adapts a NumPy generator to the three methods
+the generators draw from (``uniform`` / ``randint`` / ``random``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+#: Accepted ``rng`` arguments of the synthetic generators.
+RandomLike = Union[None, int, random.Random, np.random.Generator]
+
+
+class NumpyRandomSource:
+    """A ``numpy.random.Generator`` behind the ``random.Random`` surface."""
+
+    def __init__(self, generator: np.random.Generator) -> None:
+        self.generator = generator
+
+    def uniform(self, low: float, high: float) -> float:
+        """A float drawn uniformly from ``[low, high)``."""
+        return float(self.generator.uniform(low, high))
+
+    def randint(self, low: int, high: int) -> int:
+        """An int drawn uniformly from ``[low, high]`` (both inclusive)."""
+        return int(self.generator.integers(low, high + 1))
+
+    def random(self) -> float:
+        """A float drawn uniformly from ``[0, 1)``."""
+        return float(self.generator.random())
+
+    def __repr__(self) -> str:
+        return f"NumpyRandomSource({self.generator!r})"
+
+
+def resolve_rng(
+    seed: int, rng: RandomLike = None
+) -> "random.Random | NumpyRandomSource":
+    """Return the random source a generator should draw from.
+
+    An explicit ``rng`` wins over ``seed``; ``None`` falls back to the
+    legacy ``random.Random(seed)`` stream (bit-compatible with the
+    historical behavior of the generators).
+    """
+    if rng is None:
+        return random.Random(seed)
+    if isinstance(rng, np.random.Generator):
+        return NumpyRandomSource(rng)
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return NumpyRandomSource(np.random.default_rng(int(rng)))
+    raise SchemaError(
+        f"rng must be None, an int seed, a random.Random or a "
+        f"numpy.random.Generator, got {type(rng).__name__}"
+    )

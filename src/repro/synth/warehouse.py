@@ -15,7 +15,6 @@ geometric subqueries, it answers the paper's signature GIS+OLAP questions
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Hashable, List, Set, Tuple
 
 from repro.errors import SchemaError
@@ -23,6 +22,7 @@ from repro.olap.cube import Cube
 from repro.olap.dimension import DimensionInstance, DimensionSchema
 from repro.olap.facttable import DimensionAttribute, FactTable, FactTableSchema
 from repro.synth.city import SyntheticCity
+from repro.synth.rng import RandomLike, resolve_rng
 from repro.temporal.timedim import TimeDimension
 
 
@@ -48,13 +48,18 @@ def sales_fact_table(
     seed: int = 101,
     revenue_low: float = 100.0,
     revenue_high: float = 5_000.0,
+    rng: RandomLike = None,
 ) -> FactTable:
-    """A (store, day) → revenue fact table, deterministic in the seed."""
+    """A (store, day) → revenue fact table, deterministic in the seed.
+
+    An explicit ``rng`` (``numpy.random.Generator``, int seed or
+    ``random.Random``) overrides ``seed``.
+    """
     if not days:
         raise SchemaError("need at least one day")
     if revenue_low > revenue_high:
         raise SchemaError("revenue_low must not exceed revenue_high")
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     schema = FactTableSchema(
         "sales",
         [

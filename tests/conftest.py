@@ -1,0 +1,17 @@
+"""Suite-wide pytest/hypothesis configuration.
+
+Registers hypothesis profiles: ``dev`` (the default settings, used
+locally) and ``ci`` (deeper search for the nightly differential job —
+select with ``pytest --hypothesis-profile=ci``).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", settings.default)
+settings.register_profile(
+    "ci",
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)

@@ -76,6 +76,22 @@ class TestClipProperties:
             )
             assert outside
 
+    def test_segment_below_denormal_bottom_edge_not_swallowed(self):
+        """Regression (hypothesis-found): a segment sliding just *outside*
+        a nearly-degenerate bottom edge must not clip to the whole span."""
+        tiny = 6.573433594977706e-183
+        polygon = Polygon.rectangle(0.0, tiny, 2.0, 1.0)
+        segment = Segment(Point(3.0, 0.0), Point(0.0, tiny))
+        for lo, hi in polygon.clip_segment(segment):
+            point = segment.point_at((lo + hi) / 2)
+            assert polygon.contains_point(point) or any(
+                edge.distance_to_point(point) < 1e-6
+                for edge in polygon.boundary_segments()
+            )
+            # The start (3, 0) is a unit away from the region; no interval
+            # may begin there.
+            assert lo >= 1 / 3 - 1e-9
+
     @given(polygons, segments)
     def test_reversed_segment_symmetric_length(self, polygon, segment):
         forward = polygon.clipped_segment_length(segment)

@@ -1,0 +1,92 @@
+"""Shared worlds for the differential-testing suite.
+
+Two fixtures at session scope (the worlds are read-only and expensive):
+
+* ``fig1`` — the paper's exact Figure 1 instance, small enough that a
+  human can check the answers by eye;
+* ``synth_world`` — a 6×6-block synthetic city with a 10,000-sample
+  random-waypoint MOFT, generated from an explicit
+  ``numpy.random.Generator`` so reruns replay the same world bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.gis import NODE, POLYGON, POLYLINE
+from repro.mo.moft import MOFT
+from repro.pietql.executor import LayerBinding
+from repro.query.region import EvaluationContext
+from repro.synth import CityConfig, build_city, figure1_instance
+from repro.synth.city import SyntheticCity
+from repro.synth.movement import random_waypoint_moft
+from repro.temporal.calendar import hourly
+from repro.temporal.timedim import TimeDimension
+
+from tests.parallel.oracle import DifferentialOracle
+
+FIG1_BINDINGS: Dict[str, LayerBinding] = {
+    "neighborhoods": LayerBinding("Ln", POLYGON),
+    "rivers": LayerBinding("Lr", POLYLINE),
+    "schools": LayerBinding("Ls", NODE),
+}
+
+SYNTH_BINDINGS: Dict[str, LayerBinding] = {
+    "cities": LayerBinding("Lc", POLYGON),
+    "neighborhoods": LayerBinding("Ln", POLYGON),
+    "rivers": LayerBinding("Lr", POLYLINE),
+    "stores": LayerBinding("Lsto", NODE),
+    "schools": LayerBinding("Ls", NODE),
+}
+
+
+@dataclass
+class SynthWorld:
+    """A generated city plus its MOFT, wrapped for the executors."""
+
+    city: SyntheticCity
+    moft: MOFT
+    context: EvaluationContext
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The paper's Figure 1 instance (MOFT ``FMbus``)."""
+    return figure1_instance()
+
+
+@pytest.fixture(scope="session")
+def fig1_context(fig1):
+    return fig1.context()
+
+
+@pytest.fixture(scope="session")
+def synth_world() -> SynthWorld:
+    """A 10k-sample synthetic world, reproducible via an explicit rng."""
+    city = build_city(
+        CityConfig(cols=6, rows=6), rng=np.random.default_rng(20060109)
+    )
+    n_instants = 100
+    moft = random_waypoint_moft(
+        city.bounding_box,
+        n_objects=100,
+        n_instants=n_instants,
+        speed=city.config.block_size / 2,
+        rng=np.random.default_rng(42),
+    )
+    assert len(moft) == 10_000
+    time_dim = TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(n_instants)
+    )
+    context = EvaluationContext(city.gis, time_dim, moft)
+    return SynthWorld(city=city, moft=moft, context=context)
+
+
+@pytest.fixture(scope="session")
+def oracle() -> DifferentialOracle:
+    return DifferentialOracle()

@@ -1,0 +1,173 @@
+"""Differential-testing oracle for the sharded query engine.
+
+The seed serial pipeline is the reference implementation; every parallel
+backend must return *exactly* its answers — parallelism is an execution
+strategy, never a semantics change.  The oracle runs one query through
+the serial path and then through each (backend, shard count) pair,
+collects every disagreement, and raises a single assertion listing all
+of them, so a failure shows the full shape of the divergence instead of
+the first mismatched backend.
+
+Use the query-specific helpers (:meth:`DifferentialOracle.check_count`,
+:meth:`DifferentialOracle.check_pietql`) for the built-in pipelines, or
+:meth:`DifferentialOracle.check` to compare any serial callable against
+a sharded one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.parallel import ShardedExecutor, ShardedPietQLExecutor
+from repro.pietql.executor import LayerBinding, PietQLExecutor, PietQLResult
+from repro.query.evaluator import count_objects_through
+from repro.query.region import EvaluationContext
+
+#: Every execution backend the engine ships.
+ALL_BACKENDS: Tuple[str, ...] = ("serial", "threads", "processes")
+
+#: Shard counts worth exercising: degenerate (1), even, and "more shards
+#: than is sensible" (forces empty / tiny shards).
+DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 5)
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between the serial path and a parallel run."""
+
+    backend: str
+    n_shards: int
+    expected: object
+    actual: object
+
+    def describe(self) -> str:
+        return (
+            f"backend={self.backend!r} n_shards={self.n_shards}: "
+            f"expected {self.expected!r}, got {self.actual!r}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential check: the reference answer plus runs."""
+
+    label: str
+    expected: object
+    runs: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def raise_on_mismatch(self) -> None:
+        if self.mismatches:
+            lines = "\n  ".join(m.describe() for m in self.mismatches)
+            raise AssertionError(
+                f"differential oracle: {len(self.mismatches)}/{self.runs} "
+                f"parallel runs diverged from the serial path for "
+                f"{self.label!r}:\n  {lines}"
+            )
+
+
+def pietql_fingerprint(result: PietQLResult) -> Tuple[object, ...]:
+    """A comparable, order-insensitive projection of a query result."""
+    olap: Optional[Tuple[Tuple[object, float], ...]] = None
+    if result.olap_result is not None:
+        olap = tuple(sorted(result.olap_result.items(), key=repr))
+    return (
+        frozenset(result.geometry_ids),
+        result.count,
+        result.matched_objects,
+        olap,
+    )
+
+
+class DifferentialOracle:
+    """Runs queries serially and through every backend, demanding equality."""
+
+    def __init__(
+        self,
+        backends: Sequence[str] = ALL_BACKENDS,
+        shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    ) -> None:
+        self.backends = tuple(backends)
+        self.shard_counts = tuple(shard_counts)
+
+    # -- the generic comparison -------------------------------------------------
+
+    def check(
+        self,
+        label: str,
+        serial_fn: Callable[[], object],
+        sharded_fn: Callable[[str, int], object],
+        normalize: Callable[[object], object] = lambda value: value,
+    ) -> OracleReport:
+        """Compare ``serial_fn()`` against every (backend, shard) run.
+
+        ``sharded_fn(backend, n_shards)`` produces the parallel answer;
+        ``normalize`` maps both sides into comparable values (e.g. a
+        result-object fingerprint).  Raises ``AssertionError`` listing
+        every divergence; returns the report (with the serial answer)
+        when all runs agree.
+        """
+        expected = normalize(serial_fn())
+        report = OracleReport(label=label, expected=expected)
+        for backend in self.backends:
+            for n_shards in self.shard_counts:
+                actual = normalize(sharded_fn(backend, n_shards))
+                report.runs += 1
+                if actual != expected:
+                    report.mismatches.append(
+                        Mismatch(backend, n_shards, expected, actual)
+                    )
+        report.raise_on_mismatch()
+        return report
+
+    # -- pipeline-specific helpers ----------------------------------------------
+
+    def check_count(
+        self,
+        context: EvaluationContext,
+        target: Tuple[str, str],
+        constraints: Sequence[Tuple[str, Tuple[str, str]]],
+        moft_name: str = "FM",
+    ) -> OracleReport:
+        """Differential ``count_objects_through``: serial vs sharded scans."""
+
+        def serial() -> int:
+            return count_objects_through(
+                context, target, constraints, moft_name=moft_name
+            )
+
+        def sharded(backend: str, n_shards: int) -> int:
+            executor = ShardedExecutor(
+                backend=backend, n_shards=n_shards, obs=context.obs
+            )
+            return executor.count_objects_through(
+                context, target, constraints, moft_name=moft_name
+            )
+
+        return self.check(
+            f"count_objects_through(target={target})", serial, sharded
+        )
+
+    def check_pietql(
+        self,
+        context: EvaluationContext,
+        bindings: Optional[Mapping[str, LayerBinding]],
+        query: str,
+    ) -> OracleReport:
+        """Differential Piet-QL execution: seed executor vs sharded one."""
+
+        def serial() -> PietQLResult:
+            return PietQLExecutor(context, bindings).execute(query)
+
+        def sharded(backend: str, n_shards: int) -> PietQLResult:
+            executor = ShardedPietQLExecutor(
+                context, bindings, backend=backend, n_shards=n_shards
+            )
+            return executor.execute(query)
+
+        return self.check(query, serial, sharded, normalize=pietql_fingerprint)

@@ -1,0 +1,116 @@
+"""Round-trip fuzzing of the Piet-QL parser and formatter.
+
+For every canonical AST the two must be mutually inverse:
+``parse(format_query(q)) == q``, and the canonical text is a fixed point
+of a second format/parse cycle.  Hypothesis builds ASTs directly (the
+grammar is easier to sample than its text), constrained to the canonical
+shapes the formatter emits: lowercase predicates/sublevels (the parser
+lowercases them), identifiers that do not collide with keywords, DURING
+members without quote characters, and conditions anchored on the first
+selected layer so target resolution succeeds.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pietql import ast
+from repro.pietql.format import format_query
+from repro.pietql.lexer import KEYWORDS
+from repro.pietql.parser import parse
+
+IDENT_START = string.ascii_letters + "_"
+IDENT_REST = string.ascii_letters + string.digits + "_"
+
+IDENTS = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from(IDENT_START),
+    st.text(alphabet=IDENT_REST, max_size=8),
+).filter(lambda word: word.upper() not in KEYWORDS)
+
+LAYER_REFS = st.builds(ast.LayerRef, IDENTS)
+
+# The parser lowercases sublevels, so only lowercase ones round-trip.
+SUBLEVELS = st.one_of(
+    st.none(),
+    st.sampled_from(["point", "line", "polyline", "polygon", "node"]),
+)
+
+# String literals have no escape syntax: no quotes, no newlines.
+MEMBERS = st.text(
+    alphabet=string.ascii_letters + string.digits + " _-.",
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def geometric_queries(draw) -> ast.GeometricQuery:
+    select = tuple(
+        draw(st.lists(LAYER_REFS, min_size=1, max_size=3, unique=True))
+    )
+    target = select[0]
+    conditions = tuple(
+        draw(
+            st.lists(
+                st.builds(
+                    ast.GeoCondition,
+                    st.sampled_from(ast.GEO_PREDICATES),
+                    st.just(target),
+                    LAYER_REFS,
+                    SUBLEVELS,
+                ),
+                max_size=3,
+            )
+        )
+    )
+    return ast.GeometricQuery(select, draw(IDENTS), conditions)
+
+
+MOVING_QUERIES = st.builds(
+    ast.MovingObjectQuery,
+    st.sampled_from(["OBJECTS", "SAMPLES"]),
+    IDENTS,
+    st.booleans(),
+    st.lists(
+        st.builds(ast.DuringClause, IDENTS, MEMBERS), max_size=2
+    ).map(tuple),
+)
+
+OLAP_QUERIES = st.builds(
+    ast.OlapQuery,
+    st.sampled_from(ast.OLAP_FUNCTIONS),
+    IDENTS,
+    st.one_of(st.none(), IDENTS),
+)
+
+QUERIES = st.builds(
+    ast.PietQLQuery,
+    geometric_queries(),
+    st.one_of(st.none(), MOVING_QUERIES),
+    st.one_of(st.none(), OLAP_QUERIES),
+)
+
+
+@given(query=QUERIES)
+@settings(deadline=None)
+def test_format_parse_roundtrip(query):
+    text = format_query(query)
+    assert parse(text) == query
+
+
+@given(query=QUERIES)
+@settings(deadline=None)
+def test_canonical_text_is_a_fixed_point(query):
+    text = format_query(query)
+    assert format_query(parse(text)) == text
+
+
+@given(query=QUERIES)
+@settings(deadline=None)
+def test_roundtrip_preserves_target(query):
+    reparsed = parse(format_query(query))
+    assert reparsed.geometric.target == query.geometric.target

@@ -1,0 +1,129 @@
+"""Reproducibility of the synthetic generators under explicit RNGs.
+
+The differential-oracle suite compares serial and parallel query paths on
+generated worlds; that comparison is only meaningful when the worlds are
+byte-identical across runs.  These tests pin the contract of
+``repro.synth.rng``: equal generator states produce equal worlds, the
+legacy seed path is untouched, and distinct streams actually differ.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.geometry import BoundingBox
+from repro.synth import (
+    CityConfig,
+    NumpyRandomSource,
+    adversarial_moft,
+    build_city,
+    commuter_moft,
+    random_waypoint_moft,
+    resolve_rng,
+    route_following_moft,
+    sales_fact_table,
+)
+
+BOX = BoundingBox(0.0, 0.0, 60.0, 60.0)
+
+
+def city_fingerprint(city):
+    polygons = city.gis.layer("Ln").elements("polygon")
+    incomes = {
+        name: city.gis.member_value("neighborhood", name, "income")
+        for name in city.neighborhoods
+    }
+    stores = {
+        gid: (point.x, point.y)
+        for gid, point in city.gis.layer("Lsto").elements("node").items()
+    }
+    return (sorted(polygons), incomes, stores)
+
+
+class TestResolveRng:
+    def test_default_is_legacy_seed_stream(self):
+        assert resolve_rng(7).random() == random.Random(7).random()
+
+    def test_generator_wins_over_seed(self):
+        source = resolve_rng(7, np.random.default_rng(1))
+        assert isinstance(source, NumpyRandomSource)
+        assert source.random() == np.random.default_rng(1).random()
+
+    def test_int_rng_is_default_rng_shorthand(self):
+        a = resolve_rng(7, 123).random()
+        b = resolve_rng(99, np.random.default_rng(123)).random()
+        assert a == b
+
+    def test_random_random_passes_through(self):
+        shared = random.Random(3)
+        assert resolve_rng(0, shared) is shared
+
+    def test_randint_is_inclusive_and_in_range(self):
+        source = resolve_rng(0, np.random.default_rng(5))
+        draws = {source.randint(1, 3) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+    def test_rejects_junk(self):
+        with pytest.raises(SchemaError):
+            resolve_rng(0, "not-an-rng")
+
+
+class TestMovementDeterminism:
+    @pytest.mark.parametrize(
+        "generate",
+        [
+            lambda rng: random_waypoint_moft(BOX, 6, 8, rng=rng),
+            lambda rng: commuter_moft(BOX, 6, 8, morning_end=4, rng=rng),
+            lambda rng: adversarial_moft(BOX, 4, 6, rng=rng),
+        ],
+    )
+    def test_equal_generators_equal_mofts(self, generate):
+        a = generate(np.random.default_rng(2024))
+        b = generate(np.random.default_rng(2024))
+        assert list(a.tuples()) == list(b.tuples())
+        different = generate(np.random.default_rng(2025))
+        assert list(a.tuples()) != list(different.tuples())
+
+    def test_route_following_reproducible(self):
+        from repro.geometry import Point, Polyline
+
+        routes = [Polyline([Point(0, 0), Point(30, 0), Point(30, 30)])]
+        a = route_following_moft(routes, 4, 6, rng=np.random.default_rng(9))
+        b = route_following_moft(routes, 4, 6, rng=np.random.default_rng(9))
+        assert list(a.tuples()) == list(b.tuples())
+
+    def test_legacy_seed_stream_unchanged(self):
+        """rng=None must keep the historical random.Random(seed) stream."""
+        legacy = random_waypoint_moft(BOX, 3, 4, seed=11)
+        explicit = random_waypoint_moft(BOX, 3, 4, rng=random.Random(11))
+        assert list(legacy.tuples()) == list(explicit.tuples())
+
+    def test_spawned_streams_are_independent(self):
+        parent = np.random.default_rng(7)
+        first, second = parent.spawn(2)
+        a = random_waypoint_moft(BOX, 3, 4, rng=first)
+        b = random_waypoint_moft(BOX, 3, 4, rng=second)
+        assert list(a.tuples()) != list(b.tuples())
+
+
+class TestCityAndWarehouseDeterminism:
+    def test_equal_generators_equal_cities(self):
+        config = CityConfig(cols=4, rows=4)
+        a = build_city(config, rng=np.random.default_rng(31))
+        b = build_city(config, rng=np.random.default_rng(31))
+        assert city_fingerprint(a) == city_fingerprint(b)
+
+    def test_legacy_city_stream_unchanged(self):
+        config = CityConfig(cols=4, rows=4, seed=7)
+        assert city_fingerprint(build_city(config)) == city_fingerprint(
+            build_city(config, rng=random.Random(7))
+        )
+
+    def test_sales_fact_table_reproducible(self):
+        city = build_city(CityConfig(cols=4, rows=4))
+        days = ["2006-01-09", "2006-01-10"]
+        a = sales_fact_table(city, days, rng=np.random.default_rng(55))
+        b = sales_fact_table(city, days, rng=np.random.default_rng(55))
+        assert list(a.rows()) == list(b.rows())
