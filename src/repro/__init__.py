@@ -42,6 +42,7 @@ from repro.errors import (
     GeometryError,
     InstanceError,
     PietQLError,
+    PreAggError,
     QueryError,
     ReproError,
     RollupError,
@@ -57,6 +58,7 @@ __all__ = [
     "GeometryError",
     "InstanceError",
     "PietQLError",
+    "PreAggError",
     "QueryError",
     "ReproError",
     "RollupError",

@@ -61,3 +61,7 @@ class PietQLExecutionError(PietQLError):
 
 class TrajectoryError(ReproError):
     """Invalid trajectory sample or trajectory operation."""
+
+
+class PreAggError(ReproError):
+    """A pre-aggregation store cannot be built, updated or queried."""

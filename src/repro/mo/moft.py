@@ -69,6 +69,15 @@ class MOFT:
         self._oid_col: Optional[np.ndarray] = None
         # oid -> (times sorted ascending, row indices in that order).
         self._order: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
+        # Mutation counter: rows are append-only, so ``(version, n)``
+        # snapshots let derived structures (the pre-aggregation store)
+        # detect staleness and read ``rows[snapshot_n:]`` as the delta.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped by every append)."""
+        return self._version
 
     def __len__(self) -> int:
         return self._n
@@ -113,6 +122,7 @@ class MOFT:
         xs.append(float(x))
         ys.append(float(y))
         self._n += 1
+        self._version += 1
         if self._by_object is not None:
             self._by_object.setdefault(oid, []).append(index)
         self._arrays = None
@@ -181,6 +191,80 @@ class MOFT:
         else:
             moft._seen = None
         return moft
+
+    def extend_columns(
+        self,
+        oids: Sequence[Hashable],
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+        validate: bool = True,
+    ) -> int:
+        """Bulk-append whole columns; returns the first new row index.
+
+        The columnar sibling of :meth:`add_many`: one array concatenation
+        instead of per-row appends, one version bump for the whole batch.
+        With ``validate=True`` the appended ``(oid, t)`` pairs are checked
+        unique among themselves and against the existing rows.
+        """
+        t_new = np.asarray(ts, dtype=float)
+        x_new = np.asarray(xs, dtype=float)
+        y_new = np.asarray(ys, dtype=float)
+        if isinstance(oids, np.ndarray) and oids.dtype == object:
+            oid_new = oids.copy()
+        else:
+            oid_new = np.fromiter(oids, dtype=object, count=len(oids))
+        n_new = oid_new.shape[0]
+        if not (t_new.shape[0] == x_new.shape[0] == y_new.shape[0] == n_new):
+            raise TrajectoryError(
+                f"column lengths differ: oids={n_new}, ts={t_new.shape[0]}, "
+                f"xs={x_new.shape[0]}, ys={y_new.shape[0]}"
+            )
+        if n_new == 0:
+            return self._n
+        if validate:
+            if self._seen is None:
+                oid_col = self.oid_column()
+                t_col, _, _ = self.as_arrays()
+                self._seen = set(zip(oid_col.tolist(), t_col.tolist()))
+            fresh = list(zip(oid_new.tolist(), t_new.tolist()))
+            fresh_set = set(fresh)
+            if len(fresh_set) != len(fresh) or not self._seen.isdisjoint(
+                fresh_set
+            ):
+                counts: Dict[Tuple[Hashable, float], int] = {}
+                for key in fresh:
+                    counts[key] = counts.get(key, 0) + 1
+                oid, t = next(
+                    k
+                    for k, c in counts.items()
+                    if c > 1 or k in self._seen
+                )
+                raise TrajectoryError(
+                    f"object {oid!r} already has a sample at t={t} "
+                    f"(an object is at one point at a given instant)"
+                )
+            self._seen.update(fresh_set)
+        elif self._seen is not None:
+            self._seen.update(zip(oid_new.tolist(), t_new.tolist()))
+        t_col, x_col, y_col = self.as_arrays()
+        oid_col = self.oid_column()
+        first_new = self._n
+        self._arrays = (
+            np.concatenate([t_col, t_new]),
+            np.concatenate([x_col, x_new]),
+            np.concatenate([y_col, y_new]),
+        )
+        self._oid_col = np.concatenate([oid_col, oid_new])
+        self._oids = self._ts = self._xs = self._ys = None
+        self._n += n_new
+        self._version += 1
+        if self._by_object is not None:
+            for offset, oid in enumerate(oid_new.tolist()):
+                self._by_object.setdefault(oid, []).append(first_new + offset)
+        for oid in set(oid_new.tolist()):
+            self._order.pop(oid, None)
+        return first_new
 
     # -- row access ----------------------------------------------------------------
 

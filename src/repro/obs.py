@@ -30,10 +30,22 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
     and merge wall time rounded to milliseconds (the exact figure is the
     ``merge`` stage timer).
 
+``preagg_hits`` / ``preagg_misses``
+    Planner routing through the materialized pre-aggregation layer
+    (:mod:`repro.preagg`): a hit means the covered part of the query was
+    answered from store cells, a miss that a registered store existed
+    but could not serve (stale, unmaterialized geometry, window without
+    a whole granule).  Contexts with no registered store count neither.
+``sliver_scan_rows``
+    MOFT rows handed to the residual scan when a misaligned window
+    routes through a store (the hybrid path's scan cost).
+
 Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``;
 the sharded executor adds ``shard_fanout`` (dispatch-to-last-result wall
 time), ``shard_scan`` (per-shard work, one call per shard, summed across
-shards) and ``merge``.
+shards) and ``merge``; the pre-aggregation layer adds ``preagg_build``,
+``preagg_update`` (store maintenance) and ``preagg_lookup`` (planner
+routing + cell reads).
 """
 
 from __future__ import annotations

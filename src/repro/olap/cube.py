@@ -45,6 +45,39 @@ class Cube:
     def __len__(self) -> int:
         return len(self.fact_table)
 
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        attributes: Sequence[Tuple[str, str, str, DimensionInstance]],
+        measures: Sequence[str],
+        rows: Sequence[Mapping[str, Hashable]],
+    ) -> "Cube":
+        """Build a cube from plain rows in one call.
+
+        ``attributes`` is a sequence of ``(column, dimension, level,
+        instance)`` tuples; the fact-table schema and the dimension
+        mapping are derived from it.  Used by derived stores (e.g.
+        :meth:`repro.preagg.PreAggStore.as_cube`) that materialize their
+        cells as a cube without hand-assembling schema objects.
+        """
+        from repro.olap.facttable import DimensionAttribute, FactTableSchema
+
+        schema = FactTableSchema(
+            name,
+            [
+                DimensionAttribute(column, dimension, level)
+                for column, dimension, level, _ in attributes
+            ],
+            measures,
+        )
+        table = FactTable(schema)
+        table.insert_many(rows)
+        return cls(
+            table,
+            {dimension: instance for _, dimension, _, instance in attributes},
+        )
+
     # -- cube operations -----------------------------------------------------
 
     def rollup(

@@ -158,6 +158,15 @@ class DimensionInstance:
         self._rollups: Dict[Tuple[str, str], Dict[Hashable, Hashable]] = {
             edge: {} for edge in schema.edges()
         }
+        # Mutation counter: bumped by every population call so derived
+        # caches (e.g. TimeDimension granule partitions) can detect that
+        # their snapshot went stale without hashing the whole instance.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (see population methods)."""
+        return self._version
 
     # -- population ---------------------------------------------------------
 
@@ -166,7 +175,9 @@ class DimensionInstance:
         self.schema._check_level(level)
         if level == ALL_LEVEL and member != ALL_MEMBER:
             raise RollupError("the All level has the single member 'all'")
-        self._members[level].add(member)
+        if member not in self._members[level]:
+            self._members[level].add(member)
+            self._version += 1
 
     def set_rollup(
         self, child_level: str, child: Hashable, parent_level: str, parent: Hashable
@@ -190,7 +201,9 @@ class DimensionInstance:
                 f"member {child!r} of level {child_level!r} already rolls up "
                 f"to {existing!r}, cannot remap to {parent!r}"
             )
-        self._rollups[edge][child] = parent
+        if existing is None:
+            self._rollups[edge][child] = parent
+            self._version += 1
 
     def add_members(self, level: str, members: Iterable[Hashable]) -> None:
         """Register many members at once."""

@@ -93,6 +93,26 @@ def _apply_task(payload: Tuple[Callable[[MOFT], V], MOFT]) -> ShardOutcome[V]:
     return value, time.perf_counter() - start, None
 
 
+def _build_preagg_task(payload) -> ShardOutcome:
+    """Build a pre-aggregation store over one object shard of a MOFT."""
+    from repro.preagg.store import PreAggStore
+
+    shard, time_dim, granule_level, geometries, layer, kind, name = payload
+    stats = PipelineStats()
+    start = time.perf_counter()
+    store = PreAggStore(
+        shard,
+        time_dim,
+        granule_level,
+        geometries,
+        layer=layer,
+        kind=kind,
+        name=name,
+        obs=stats,
+    )
+    return store, time.perf_counter() - start, stats
+
+
 class ShardedExecutor:
     """Fans MOFT query work out over shards and merges exact partials.
 
@@ -210,13 +230,16 @@ class ShardedExecutor:
         early_exit: bool = True,
         stats: Optional[EvaluationStats] = None,
         vectorized: bool = True,
+        window: Optional[Tuple[float, float]] = None,
+        use_preagg: bool = True,
     ) -> int:
         """Sharded Section 5 pipeline; same signature and semantics as
         :func:`repro.query.evaluator.count_objects_through`.
 
         The geometric subquery stays serial (it is cheap against the
         overlay and not shardable by MOFT rows); only the trajectory scan
-        fans out.
+        fans out — including the residual sliver scan when the planner
+        routes the covered part of a window through a pre-agg store.
         """
         from repro.query.evaluator import count_objects_through
 
@@ -230,6 +253,52 @@ class ShardedExecutor:
             stats=stats,
             vectorized=vectorized,
             executor=self,
+            window=window,
+            use_preagg=use_preagg,
+        )
+
+    def build_preagg_store(
+        self,
+        moft: MOFT,
+        time_dim,
+        granule_level: str,
+        geometries: Dict[Hashable, object],
+        layer: Optional[str] = None,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+    ):
+        """Build a :class:`~repro.preagg.PreAggStore` shard by shard.
+
+        The MOFT is partitioned by objects; each shard builds its own
+        store (the expensive containment/clipping passes run on the
+        backend) and the partials merge by count addition and oid-set
+        union (:meth:`~repro.preagg.PreAggStore.merge`), which is exact
+        because the object sets are disjoint.  The merged store's
+        staleness snapshot is taken from the parent MOFT *before* the
+        fan-out, so appends racing the build are detected as stale.
+        """
+        from repro.preagg.store import PreAggStore
+
+        snapshot = (moft.version, len(moft))
+        shards = [
+            shard
+            for shard in moft.partition_by_objects(self.n_shards)
+            if len(shard)
+        ]
+        if not shards:
+            store = PreAggStore(
+                moft, time_dim, granule_level, geometries,
+                layer=layer, kind=kind, name=name,
+            )
+            return store
+        payloads = [
+            (shard, time_dim, granule_level, dict(geometries), layer, kind, name)
+            for shard in shards
+        ]
+        return self.map_shards(
+            _build_preagg_task,
+            payloads,
+            lambda stores: PreAggStore.merge(stores, moft, snapshot),
         )
 
     # -- generic sharded aggregation -------------------------------------------

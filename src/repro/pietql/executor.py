@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.errors import PietQLExecutionError
 from repro.mo.moft import MOFT
 from repro.pietql import ast
@@ -271,6 +273,59 @@ class PietQLExecutor:
         self.context.obs.merge(stats)
         return matched
 
+    def _preagg_through_result(
+        self,
+        base_moft: MOFT,
+        allowed: Optional[Set[float]],
+        binding: LayerBinding,
+        geometry_ids: Set[Hashable],
+    ) -> Optional[Set[Hashable]]:
+        """Route THROUGH RESULT through a registered pre-aggregation store.
+
+        Fires when a fresh :class:`~repro.preagg.PreAggStore` over
+        exactly this MOFT materializes every answer geometry and the
+        DURING-restricted instant set equals the instants of one granule
+        run (``allowed=None`` — no DURING — is the full run).  Then the
+        scan is replaced by the store's cells + spanning records, which
+        the differential suite proves identical.  Returns None on any
+        mismatch, counting a ``preagg_miss`` when stores are registered.
+        """
+        context = self.context
+        store = context.preagg_for(
+            base_moft, binding.layer, binding.kind, geometry_ids
+        )
+
+        def miss() -> None:
+            if context.has_preagg:
+                context.obs.incr("preagg_misses")
+            return None
+
+        if store is None or store.is_stale():
+            return miss()
+        with context.obs.stage("preagg_lookup"):
+            partition = store.partition
+            if len(partition) == 0:
+                return miss()
+            if allowed is None:
+                run = (0, len(partition) - 1)
+            else:
+                wanted = np.sort(np.array(sorted(allowed), dtype=float))
+                codes = partition.codes_for(wanted)
+                if codes.size == 0 or (codes < 0).any():
+                    return miss()
+                first, last = int(codes.min()), int(codes.max())
+                covered = partition.instants[
+                    (partition.codes >= first) & (partition.codes <= last)
+                ]
+                if not np.array_equal(wanted, covered):
+                    # The instant set cuts through a granule; serving it
+                    # from whole-granule cells would over-count.
+                    return miss()
+                run = (first, last)
+            matched = store.objects_through(geometry_ids, *run)
+        context.obs.incr("preagg_hits")
+        return matched
+
     def _execute_moving(
         self,
         mo: ast.MovingObjectQuery,
@@ -278,7 +333,9 @@ class PietQLExecutor:
         geometry_ids: Set[Hashable],
     ) -> Tuple[float, Set[Hashable]]:
         obs = self.context.obs
-        moft = self.context.moft(mo.moft_name)
+        base_moft = self.context.moft(mo.moft_name)
+        moft = base_moft
+        allowed: Optional[Set[float]] = None
         with obs.stage("during_restriction"):
             for clause in mo.during:
                 member: Hashable = clause.member
@@ -292,12 +349,25 @@ class PietQLExecutor:
                     ) | self.context.time.instants_where(
                         clause.level, int(float(clause.member))
                     )
-                moft = moft.restrict_instants({float(t) for t in instants})
+                clause_instants = {float(t) for t in instants}
+                allowed = (
+                    clause_instants
+                    if allowed is None
+                    else allowed & clause_instants
+                )
+            if allowed is not None:
+                moft = moft.restrict_instants(allowed)
         if mo.through_result:
             if not geometry_ids or len(moft) == 0:
                 return 0.0, set()
             binding = self.resolve(geo.target)
-            matched = self._scan_through_result(moft, binding, geometry_ids)
+            matched = self._preagg_through_result(
+                base_moft, allowed, binding, geometry_ids
+            )
+            if matched is None:
+                matched = self._scan_through_result(
+                    moft, binding, geometry_ids
+                )
         else:
             matched = moft.objects()
         if mo.count_what == "OBJECTS":

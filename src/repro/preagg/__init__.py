@@ -1,0 +1,12 @@
+"""Materialized pre-aggregation for moving-object queries.
+
+See :mod:`repro.preagg.store` for the model: per-(geometry, granule)
+cells with exact distinct-object sets, boundary-spanning segment
+records, incremental maintenance against the append-only MOFT, and
+lattice rollup / cube exposure.  The query planner
+(:mod:`repro.query.optimizer`) routes eligible aggregates here.
+"""
+
+from repro.preagg.store import OID_DTYPE, PreAggCell, PreAggStore
+
+__all__ = ["OID_DTYPE", "PreAggCell", "PreAggStore"]

@@ -1,0 +1,860 @@
+"""The materialized pre-aggregation store: per-(geometry, granule) cells.
+
+The paper's Definition 4 makes geometric aggregation *summable*: once a
+measure is attached to finite geometry ids, ``Q = Σ_{g∈C} h'(g)``.  This
+module materializes exactly that form for the moving-object workload: a
+:class:`PreAggStore` summarizes a MOFT against a set of polygons and a
+contiguous time-granule partition (:meth:`repro.temporal.timedim
+.TimeDimension.granules`) into cells holding
+
+* ``samples`` — number of samples inside the polygon per granule;
+* ``dwell`` — interpolated time spent inside, from intra-granule
+  trajectory segments;
+* ``present`` — the exact set of objects with a sample inside (sorted
+  ``uint32`` oid codes — distinct-count is *not* summable, so the store
+  merges id sets, never adds counters);
+* ``passers`` — the exact set of objects whose granule-restricted
+  trajectory intersects the polygon (trajectory semantics).
+
+Cells alone cannot answer window queries exactly: a segment between
+samples in *adjacent* granules exists in neither granule-restricted
+scan.  The store therefore also keeps **spanning records** per polygon —
+``(oid, granule_a, granule_b, dwell)`` for every trajectory segment whose
+endpoints sit in different granules and which intersects the polygon.  A
+window covering granules ``i..j`` then answers exactly as
+
+    ∪ passers[g∈i..j]  ∪  { oid of spanning records with i ≤ a, b ≤ j }
+
+because (all sample instants being registered) samples consecutive in the
+window restriction are consecutive in the full history.  Misaligned
+windows decompose into the maximal covered granule run plus *slivers* at
+the edges; the hybrid answer adds a scan over only the objects touching a
+sliver (their full window-restricted history), which is exact because a
+window segment not accounted by the store has an endpoint in a sliver.
+
+Incremental maintenance: the MOFT is append-only and versioned, so the
+store snapshots ``(version, rows)`` and treats ``rows[built:]`` as the
+delta.  In-time-order appends are purely additive (new samples extend
+cells and add segments; no prior membership ever becomes wrong);
+out-of-order appends fall back to a full rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import PreAggError
+from repro.geometry.index import UniformGridIndex, index_for_geometries
+from repro.geometry.overlay import geometries_intersect
+from repro.geometry.point import BoundingBox, Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.segment import Segment
+from repro.mo.moft import MOFT
+from repro.obs import PipelineStats
+from repro.parallel.merge import union_sorted_ids
+from repro.query.vectorized import polygon_contains_batch
+from repro.temporal.timedim import GranulePartition, TimeDimension
+
+#: uint32 oid-code dtype used for every stored id set.
+OID_DTYPE = np.uint32
+
+_EMPTY_IDS = np.empty(0, dtype=OID_DTYPE)
+
+
+@dataclass(frozen=True)
+class PreAggCell:
+    """One decoded (geometry, granule) cell — for inspection and cubes."""
+
+    samples: int
+    dwell: float
+    distinct_objects: frozenset
+    passing_objects: frozenset
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct objects sampled inside (exact, from the set)."""
+        return len(self.distinct_objects)
+
+
+class _GidCells:
+    """Per-polygon storage: granule-indexed arrays plus spanning records."""
+
+    __slots__ = (
+        "samples",
+        "dwell",
+        "present",
+        "passers",
+        "span_oid",
+        "span_a",
+        "span_b",
+        "span_dwell",
+    )
+
+    def __init__(self, n_granules: int) -> None:
+        self.samples = np.zeros(n_granules, dtype=np.int64)
+        self.dwell = np.zeros(n_granules, dtype=float)
+        self.present: List[np.ndarray] = [_EMPTY_IDS] * n_granules
+        self.passers: List[np.ndarray] = [_EMPTY_IDS] * n_granules
+        self.span_oid = np.empty(0, dtype=OID_DTYPE)
+        self.span_a = np.empty(0, dtype=np.int64)
+        self.span_b = np.empty(0, dtype=np.int64)
+        self.span_dwell = np.empty(0, dtype=float)
+
+    def span_mask(self, first: int, last: int) -> np.ndarray:
+        """Spanning records fully inside the granule run ``first..last``."""
+        return (self.span_a >= first) & (self.span_b <= last)
+
+
+class _DeltaSets:
+    """Python-set staging for id-set additions during build/update."""
+
+    def __init__(self) -> None:
+        self.present: Dict[Tuple[Hashable, int], Set[int]] = {}
+        self.passers: Dict[Tuple[Hashable, int], Set[int]] = {}
+        self.spans: Dict[Hashable, List[Tuple[int, int, int, float]]] = {}
+
+    def add_present(self, gid: Hashable, granule: int, code: int) -> None:
+        self.present.setdefault((gid, granule), set()).add(code)
+        # A sample inside the polygon proves the granule-restricted
+        # trajectory hits it (the adjacent intra-granule segment, or the
+        # lone-point probe), so presence implies passing.
+        self.passers.setdefault((gid, granule), set()).add(code)
+
+    def add_passer(self, gid: Hashable, granule: int, code: int) -> None:
+        self.passers.setdefault((gid, granule), set()).add(code)
+
+    def add_span(
+        self, gid: Hashable, code: int, a: int, b: int, dwell: float
+    ) -> None:
+        self.spans.setdefault(gid, []).append((code, a, b, dwell))
+
+
+def _as_sorted_ids(codes: Iterable[int]) -> np.ndarray:
+    return np.array(sorted(codes), dtype=OID_DTYPE)
+
+
+class PreAggStore:
+    """Materialized per-(geometry-id, time-granule) rollup of one MOFT.
+
+    Parameters
+    ----------
+    moft:
+        The base fact table.  Every sample instant must be a registered
+        ``timeId`` member (otherwise :class:`PreAggError` — the store
+        could not place the sample in any granule).
+    time:
+        The Time dimension providing the granule partition.
+    granule_level:
+        The finest materialized level (e.g. ``"hour"`` or ``"day"``);
+        must partition the registered instants into contiguous runs.
+    geometries:
+        ``geometry id -> Polygon`` — typically a layer's polygon
+        partition.  Non-polygon geometries are rejected (cells need
+        containment and segment clipping).
+    layer, kind:
+        Optional provenance tags; the planner matches stores to queries
+        by ``(moft identity, layer, kind)``.
+    obs:
+        Observer receiving ``preagg_build`` / ``preagg_update`` stage
+        timings.
+    """
+
+    def __init__(
+        self,
+        moft: MOFT,
+        time: TimeDimension,
+        granule_level: str,
+        geometries: Dict[Hashable, Polygon],
+        layer: Optional[str] = None,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        obs: Optional[PipelineStats] = None,
+        build: bool = True,
+    ) -> None:
+        if not geometries:
+            raise PreAggError("a pre-aggregation store needs >= 1 polygon")
+        for gid, geometry in geometries.items():
+            if not isinstance(geometry, Polygon):
+                raise PreAggError(
+                    f"geometry {gid!r} is {type(geometry).__name__}, not a "
+                    f"Polygon; the store needs containment and clipping"
+                )
+        self.moft = moft
+        self.time = time
+        self.granule_level = granule_level
+        self.geometries = dict(geometries)
+        self.layer = layer
+        self.kind = kind
+        self.name = name if name is not None else f"preagg_{moft.name}"
+        self.obs = obs if obs is not None else PipelineStats()
+        self.gids: Tuple[Hashable, ...] = tuple(
+            sorted(self.geometries, key=repr)
+        )
+        self._gid_set = set(self.gids)
+        self._grid: UniformGridIndex = index_for_geometries(self.geometries)
+        # oid interning: code -> value and value -> code.
+        self._oid_values: List[Hashable] = []
+        self._oid_code: Dict[Hashable, int] = {}
+        self._cells: Dict[Hashable, _GidCells] = {}
+        # Per-object last appended sample (t, x, y) by oid code — the
+        # connecting segment of the next delta batch starts here.
+        self._last: Dict[int, Tuple[float, float, float]] = {}
+        self.partition: GranulePartition = time.granules(granule_level)
+        self._dim_version = time.instance.version
+        self._built_version = -1
+        self._built_rows = 0
+        if build:
+            self.refresh()
+
+    # -- construction ---------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Rebuild every cell from the current MOFT and Time dimension."""
+        with self.obs.stage("preagg_build"):
+            self.partition = self.time.granules(self.granule_level)
+            self._dim_version = self.time.instance.version
+            version, rows = self.moft.version, len(self.moft)
+            self._oid_values = []
+            self._oid_code = {}
+            self._last = {}
+            n_granules = len(self.partition)
+            self._cells = {gid: _GidCells(n_granules) for gid in self.gids}
+            if rows:
+                if n_granules == 0:
+                    raise PreAggError(
+                        f"no {self.granule_level!r} granules exist but the "
+                        f"MOFT has {rows} samples"
+                    )
+                self._build_from_rows(0)
+            self._built_version = version
+            self._built_rows = rows
+
+    def _intern(self, oid: Hashable) -> int:
+        code = self._oid_code.get(oid)
+        if code is None:
+            code = len(self._oid_values)
+            self._oid_code[oid] = code
+            self._oid_values.append(oid)
+        return code
+
+    def decode(self, codes: np.ndarray) -> Set[Hashable]:
+        """Map an oid-code array back to object identifiers."""
+        return {self._oid_values[c] for c in codes.tolist()}
+
+    def _granule_codes_checked(self, ts: np.ndarray) -> np.ndarray:
+        codes = self.partition.codes_for(ts)
+        bad = np.flatnonzero(codes < 0)
+        if bad.size:
+            raise PreAggError(
+                f"sample instant {float(ts[bad[0]])} is not a registered "
+                f"timeId member; the store cannot place it in any "
+                f"{self.granule_level!r} granule"
+            )
+        return codes
+
+    def _build_from_rows(self, start_row: int) -> None:
+        """Fold rows ``start_row:`` into the cells (build = start_row 0).
+
+        For a full build the per-object segment walk covers whole
+        histories; incremental updates instead go through
+        :meth:`_apply_delta` which stitches the connecting segment from
+        ``self._last``.
+        """
+        moft = self.moft
+        t, x, y = moft.as_arrays()
+        oid_col = moft.oid_column()
+        codes = self._granule_codes_checked(t)
+        row_code = np.empty(len(moft), dtype=np.int64)
+        for i, oid in enumerate(oid_col.tolist()):
+            row_code[i] = self._intern(oid)
+        delta = _DeltaSets()
+        # Sample pass: vectorized containment per polygon.
+        for gid in self.gids:
+            polygon = self.geometries[gid]
+            box = polygon.bbox
+            rows = np.flatnonzero(
+                (x >= box.min_x)
+                & (x <= box.max_x)
+                & (y >= box.min_y)
+                & (y <= box.max_y)
+            )
+            if rows.size:
+                rows = rows[polygon_contains_batch(polygon, x[rows], y[rows])]
+            cells = self._cells[gid]
+            if rows.size:
+                cells.samples += np.bincount(
+                    codes[rows], minlength=len(self.partition)
+                )
+                for g, code in zip(codes[rows].tolist(), row_code[rows].tolist()):
+                    delta.add_present(gid, g, code)
+        # Segment pass: per object, consecutive sample pairs.
+        for oid, code in self._oid_code.items():
+            times, rows = moft._object_order(oid)
+            if times.shape[0] < 2:
+                if times.shape[0] == 1:
+                    row = int(rows[0])
+                    self._last[code] = (
+                        float(times[0]), float(x[row]), float(y[row])
+                    )
+                continue
+            granules = codes[rows]
+            for i in range(times.shape[0] - 1):
+                r0, r1 = int(rows[i]), int(rows[i + 1])
+                self._fold_segment(
+                    delta,
+                    code,
+                    float(times[i]),
+                    float(times[i + 1]),
+                    float(x[r0]),
+                    float(y[r0]),
+                    float(x[r1]),
+                    float(y[r1]),
+                    int(granules[i]),
+                    int(granules[i + 1]),
+                )
+            last_row = int(rows[-1])
+            self._last[code] = (
+                float(times[-1]), float(x[last_row]), float(y[last_row])
+            )
+        self._apply_sets(delta)
+
+    def _fold_segment(
+        self,
+        delta: _DeltaSets,
+        code: int,
+        t0: float,
+        t1: float,
+        x0: float,
+        y0: float,
+        x1: float,
+        y1: float,
+        g0: int,
+        g1: int,
+    ) -> None:
+        """Attribute one trajectory segment to cells or spanning records."""
+        segment = Segment(Point(x0, y0), Point(x1, y1))
+        box = BoundingBox(
+            min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1)
+        )
+        for gid in self._grid.query_box(box):
+            polygon = self.geometries[gid]
+            if not geometries_intersect(polygon, segment):
+                continue
+            dwell = sum(
+                (s1 - s0) * (t1 - t0)
+                for s0, s1 in polygon.clip_segment(segment)
+            )
+            if g0 == g1:
+                self._cells[gid].dwell[g0] += dwell
+                delta.add_passer(gid, g0, code)
+            else:
+                delta.add_span(gid, code, g0, g1, dwell)
+
+    def _apply_sets(self, delta: _DeltaSets) -> None:
+        """Union staged id sets into the sorted uint32 cell arrays."""
+        for (gid, granule), codes in delta.present.items():
+            cells = self._cells[gid]
+            cells.present[granule] = union_sorted_ids(
+                [cells.present[granule], _as_sorted_ids(codes)]
+            )
+        for (gid, granule), codes in delta.passers.items():
+            cells = self._cells[gid]
+            cells.passers[granule] = union_sorted_ids(
+                [cells.passers[granule], _as_sorted_ids(codes)]
+            )
+        for gid, records in delta.spans.items():
+            cells = self._cells[gid]
+            cells.span_oid = np.concatenate(
+                [cells.span_oid,
+                 np.array([r[0] for r in records], dtype=OID_DTYPE)]
+            )
+            cells.span_a = np.concatenate(
+                [cells.span_a, np.array([r[1] for r in records], dtype=np.int64)]
+            )
+            cells.span_b = np.concatenate(
+                [cells.span_b, np.array([r[2] for r in records], dtype=np.int64)]
+            )
+            cells.span_dwell = np.concatenate(
+                [cells.span_dwell, np.array([r[3] for r in records], dtype=float)]
+            )
+
+    # -- staleness and incremental maintenance --------------------------------
+
+    def is_stale(self) -> bool:
+        """True when the MOFT or the Time dimension moved past the snapshot."""
+        return (
+            self.moft.version != self._built_version
+            or len(self.moft) != self._built_rows
+            or self.time.instance.version != self._dim_version
+        )
+
+    def update(self) -> str:
+        """Fold appended MOFT rows into the cells.
+
+        Returns ``"fresh"`` (nothing to do), ``"delta"`` (the appended
+        rows were applied incrementally) or ``"rebuild"`` (the Time
+        dimension changed, or some object received an out-of-time-order
+        sample, so the store fell back to :meth:`refresh`).
+        """
+        if not self.is_stale():
+            return "fresh"
+        if self.time.instance.version != self._dim_version:
+            self.refresh()
+            return "rebuild"
+        with self.obs.stage("preagg_update"):
+            version, rows = self.moft.version, len(self.moft)
+            start = self._built_rows
+            t, x, y = self.moft.as_arrays()
+            oid_col = self.moft.oid_column()
+            codes = self._granule_codes_checked(t[start:])
+            # Group delta rows by object, each object's rows time-sorted.
+            per_object: Dict[Hashable, List[int]] = {}
+            for offset, oid in enumerate(oid_col[start:].tolist()):
+                per_object.setdefault(oid, []).append(offset)
+            delta = _DeltaSets()
+            for oid, offsets in per_object.items():
+                offsets.sort(key=lambda o: t[start + o])
+                code = self._intern(oid)
+                previous = self._last.get(code)
+                first_t = float(t[start + offsets[0]])
+                if previous is not None and first_t <= previous[0]:
+                    # Out-of-order append: the connecting segments already
+                    # folded in would change — rebuild instead.
+                    self.refresh()
+                    return "rebuild"
+                for offset in offsets:
+                    row = start + offset
+                    granule = int(codes[offset])
+                    tr = float(t[row])
+                    xr, yr = float(x[row]), float(y[row])
+                    self._fold_sample(delta, code, granule, xr, yr)
+                    if previous is not None:
+                        tp, xp, yp = previous
+                        self._fold_segment(
+                            delta, code, tp, tr, xp, yp, xr, yr,
+                            int(self.partition.codes_for(
+                                np.array([tp]))[0]),
+                            granule,
+                        )
+                    previous = (tr, xr, yr)
+                self._last[code] = previous  # type: ignore[assignment]
+            self._apply_sets(delta)
+            self._built_version = version
+            self._built_rows = rows
+        return "delta"
+
+    def _fold_sample(
+        self,
+        delta: _DeltaSets,
+        code: int,
+        granule: int,
+        x: float,
+        y: float,
+    ) -> None:
+        point = Point(x, y)
+        for gid in self._grid.query_box(BoundingBox(x, y, x, y)):
+            if self.geometries[gid].contains_point(point):
+                self._cells[gid].samples[granule] += 1
+                delta.add_present(gid, granule, code)
+
+    # -- granule-run queries --------------------------------------------------
+
+    def _run_codes(
+        self, ids: Iterable[Hashable], first: int, last: int, which: str
+    ) -> np.ndarray:
+        if not (0 <= first <= last < len(self.partition)):
+            raise PreAggError(
+                f"granule run {first}..{last} out of range "
+                f"0..{len(self.partition) - 1}"
+            )
+        parts: List[np.ndarray] = []
+        for gid in ids:
+            cells = self._cells_for(gid)
+            per_granule = cells.passers if which == "passers" else cells.present
+            parts.extend(per_granule[first:last + 1])
+            if which == "passers" and cells.span_oid.size:
+                parts.append(cells.span_oid[cells.span_mask(first, last)])
+        return union_sorted_ids(parts)
+
+    def _cells_for(self, gid: Hashable) -> _GidCells:
+        try:
+            return self._cells[gid]
+        except KeyError:
+            raise PreAggError(
+                f"geometry {gid!r} is not materialized in store {self.name!r}"
+            ) from None
+
+    def objects_through(
+        self, ids: Iterable[Hashable], first: int, last: int
+    ) -> Set[Hashable]:
+        """Objects whose run-restricted trajectory hits any of ``ids``.
+
+        Exactly equals the serial trajectory scan over the MOFT
+        restricted to the instants of granules ``first..last``.
+        """
+        return self.decode(self._run_codes(ids, first, last, "passers"))
+
+    def distinct_objects(
+        self, ids: Iterable[Hashable], first: int, last: int
+    ) -> Set[Hashable]:
+        """Objects with at least one sample inside (sample semantics)."""
+        return self.decode(self._run_codes(ids, first, last, "present"))
+
+    def sample_count(
+        self, ids: Iterable[Hashable], first: int, last: int
+    ) -> int:
+        """Total samples inside the polygons over the granule run."""
+        return int(
+            sum(
+                self._cells_for(gid).samples[first:last + 1].sum()
+                for gid in ids
+            )
+        )
+
+    def dwell_time(
+        self, ids: Iterable[Hashable], first: int, last: int
+    ) -> float:
+        """Interpolated time inside the polygons over the granule run.
+
+        Sums intra-granule cell dwell plus spanning-segment dwell for
+        segments fully inside the run.  Overlapping polygons double-count
+        (per-polygon dwell is summed), matching the serial per-polygon
+        reference.
+        """
+        total = 0.0
+        for gid in ids:
+            cells = self._cells_for(gid)
+            total += float(cells.dwell[first:last + 1].sum())
+            if cells.span_dwell.size:
+                total += float(
+                    cells.span_dwell[cells.span_mask(first, last)].sum()
+                )
+        return total
+
+    # -- window decomposition -------------------------------------------------
+
+    def covered_run(
+        self, start: float, end: float
+    ) -> Optional[Tuple[int, int]]:
+        """Maximal granule run inside ``[start, end]`` (None when empty)."""
+        return self.partition.covered_run(float(start), float(end))
+
+    def is_aligned(self, start: float, end: float) -> bool:
+        """True when the window lands exactly on granule boundaries."""
+        return self.partition.aligned_run(float(start), float(end)) is not None
+
+    def sliver_subtable(
+        self, start: float, end: float, run: Tuple[int, int]
+    ) -> Tuple[Optional[MOFT], int]:
+        """The residual scan input for a misaligned window.
+
+        Returns ``(table, rows)`` where the table holds the complete
+        window-restricted history of every object having at least one
+        sample in a sliver — the part of ``[start, end]`` outside the
+        covered granule run — or ``(None, 0)`` when the window is fully
+        covered.  Scanning this table and unioning with
+        :meth:`objects_through` over the run reproduces the serial
+        window scan exactly: any window segment the store has not
+        accounted for has an endpoint in a sliver.
+        """
+        lo, hi = self.partition.span(*run)
+        t, _, _ = self.moft.as_arrays()
+        window = (t >= float(start)) & (t <= float(end))
+        sliver = window & ((t < lo) | (t > hi))
+        if not sliver.any():
+            return None, 0
+        oid_col = self.moft.oid_column()
+        sliver_oids = set(oid_col[sliver].tolist())
+        mask = np.zeros(len(self.moft), dtype=bool)
+        for oid in sliver_oids:
+            mask[self.moft._object_rows()[oid]] = True
+        mask &= window
+        table = self.moft.mask_rows(mask)
+        return table, len(table)
+
+    def window_dwell(
+        self, ids: Iterable[Hashable], start: float, end: float
+    ) -> float:
+        """Exact dwell time for an arbitrary window within coverage.
+
+        Store cells answer the covered granule run; segments with an
+        endpoint in a sliver are clipped directly against the polygons
+        (there are only ever O(sliver objects) of them).
+        """
+        ids = list(ids)
+        run = self.covered_run(start, end)
+        if run is None:
+            return self._sliver_dwell(ids, start, end, np.inf, -np.inf)
+        lo, hi = self.partition.span(*run)
+        total = self.dwell_time(ids, run[0], run[1])
+        return total + self._sliver_dwell(ids, start, end, lo, hi)
+
+    def _sliver_dwell(
+        self,
+        ids: Sequence[Hashable],
+        start: float,
+        end: float,
+        lo: float,
+        hi: float,
+    ) -> float:
+        """Dwell of window segments having an endpoint outside ``[lo, hi]``."""
+        wanted = set(ids) & self._gid_set
+        if len(wanted) != len(ids):
+            missing = set(ids) - self._gid_set
+            raise PreAggError(
+                f"geometries {sorted(map(repr, missing))} are not "
+                f"materialized in store {self.name!r}"
+            )
+        t, x, y = self.moft.as_arrays()
+        window = (t >= float(start)) & (t <= float(end))
+        sliver = window & ((t < lo) | (t > hi))
+        if not sliver.any():
+            return 0.0
+        oid_col = self.moft.oid_column()
+        total = 0.0
+        for oid in set(oid_col[sliver].tolist()):
+            times, rows = self.moft._object_order(oid)
+            keep = (times >= float(start)) & (times <= float(end))
+            w_times, w_rows = times[keep], rows[keep]
+            for i in range(w_times.shape[0] - 1):
+                t0, t1 = float(w_times[i]), float(w_times[i + 1])
+                if lo <= t0 and t1 <= hi:
+                    continue  # both endpoints covered: already in cells
+                r0, r1 = int(w_rows[i]), int(w_rows[i + 1])
+                segment = Segment(
+                    Point(float(x[r0]), float(y[r0])),
+                    Point(float(x[r1]), float(y[r1])),
+                )
+                box = BoundingBox(
+                    min(x[r0], x[r1]), min(y[r0], y[r1]),
+                    max(x[r0], x[r1]), max(y[r0], y[r1]),
+                )
+                for gid in self._grid.query_box(box):
+                    if gid not in wanted:
+                        continue
+                    total += sum(
+                        (s1 - s0) * (t1 - t0)
+                        for s0, s1 in self.geometries[gid].clip_segment(
+                            segment
+                        )
+                    )
+        return total
+
+    # -- lattice rollup and cube exposure -------------------------------------
+
+    def cell(self, gid: Hashable, member: Hashable) -> PreAggCell:
+        """Decode one finest-granule cell."""
+        cells = self._cells_for(gid)
+        granule = self.partition.code_of(member)
+        return PreAggCell(
+            samples=int(cells.samples[granule]),
+            dwell=float(cells.dwell[granule]),
+            distinct_objects=frozenset(self.decode(cells.present[granule])),
+            passing_objects=frozenset(self.decode(cells.passers[granule])),
+        )
+
+    def rollup_cells(
+        self, parent_level: str
+    ) -> Dict[Tuple[Hashable, Hashable], PreAggCell]:
+        """Derive coarser cells along the granularity lattice.
+
+        Child cells merge into their parent granule: counts and dwell
+        add, id sets union, and spanning records whose endpoints fall in
+        the *same* parent become intra-parent (their dwell and oid join
+        the parent cell — this is what makes the rollup exact rather
+        than a lossy counter sum).  Raises
+        :class:`~repro.errors.RollupError` when some child granule
+        straddles two parents.
+        """
+        parent, mapping = self.partition.rollup_codes(self.time, parent_level)
+        out: Dict[Tuple[Hashable, Hashable], PreAggCell] = {}
+        for gid in self.gids:
+            cells = self._cells[gid]
+            span_pa = mapping[cells.span_a] if cells.span_oid.size else None
+            span_pb = mapping[cells.span_b] if cells.span_oid.size else None
+            for p, member in enumerate(parent.members):
+                children = np.flatnonzero(mapping == p)
+                samples = int(cells.samples[children].sum())
+                dwell = float(cells.dwell[children].sum())
+                present = union_sorted_ids(
+                    [cells.present[int(g)] for g in children]
+                )
+                passer_parts = [cells.passers[int(g)] for g in children]
+                if span_pa is not None:
+                    intra = (span_pa == p) & (span_pb == p)
+                    dwell += float(cells.span_dwell[intra].sum())
+                    passer_parts.append(cells.span_oid[intra])
+                passers = union_sorted_ids(passer_parts)
+                if samples or dwell or present.size or passers.size:
+                    out[(gid, member)] = PreAggCell(
+                        samples=samples,
+                        dwell=dwell,
+                        distinct_objects=frozenset(self.decode(present)),
+                        passing_objects=frozenset(self.decode(passers)),
+                    )
+        return out
+
+    def as_cube(self) -> "Cube":
+        """Expose the finest-granule cells as an OLAP :class:`Cube`.
+
+        The fact table has one row per non-empty cell with measures
+        ``samples``, ``dwell``, ``distinct_objects`` and
+        ``passing_objects`` (the id sets surface as exact counts; the
+        sets themselves stay queryable through :meth:`cell`).  The time
+        attribute binds to the granule level, so cube rollups climb the
+        real Time lattice.  Note the cube's cells are *per-granule*
+        summaries: segments crossing granule boundaries contribute to
+        window queries (:meth:`objects_through`) but to no single cell.
+        """
+        from repro.olap.cube import Cube
+
+        geometry_dim = f"{self.name}_geometry"
+        rows = []
+        for gid in self.gids:
+            cells = self._cells[gid]
+            for granule, member in enumerate(self.partition.members):
+                samples = int(cells.samples[granule])
+                dwell = float(cells.dwell[granule])
+                present = cells.present[granule]
+                passers = cells.passers[granule]
+                if not (samples or dwell or present.size or passers.size):
+                    continue
+                rows.append(
+                    {
+                        "granule": member,
+                        "geometry": gid,
+                        "samples": samples,
+                        "dwell": dwell,
+                        "distinct_objects": int(present.size),
+                        "passing_objects": int(passers.size),
+                    }
+                )
+        return Cube.from_rows(
+            f"{self.name}_cells",
+            [
+                (
+                    "granule",
+                    self.time.instance.schema.name,
+                    self.granule_level,
+                    self.time.instance,
+                ),
+                ("geometry", geometry_dim, "gid", self._geometry_instance()),
+            ],
+            ("samples", "dwell", "distinct_objects", "passing_objects"),
+            rows,
+        )
+
+    def _geometry_instance(self):
+        """A two-level gid -> layer dimension for the cube's spatial axis."""
+        from repro.olap.dimension import DimensionInstance, DimensionSchema
+
+        schema = DimensionSchema(
+            f"{self.name}_geometry", [("gid", "layer")]
+        )
+        instance = DimensionInstance(schema)
+        label = self.layer if self.layer is not None else self.name
+        for gid in self.gids:
+            instance.set_rollup("gid", gid, "layer", label)
+        return instance
+
+    # -- shard merge ----------------------------------------------------------
+
+    @classmethod
+    def merge(
+        cls,
+        stores: Sequence["PreAggStore"],
+        moft: MOFT,
+        snapshot: Optional[Tuple[int, int]] = None,
+    ) -> "PreAggStore":
+        """Union per-shard stores built over an object partition of ``moft``.
+
+        Shards must cover disjoint object sets (the
+        :meth:`~repro.mo.moft.MOFT.partition_by_objects` guarantee):
+        counts and dwell add, id sets union after re-interning each
+        shard's oid codes into the merged store.  ``snapshot`` is the
+        parent MOFT's ``(version, rows)`` taken before partitioning, so
+        the merged store's staleness tracks the parent table.
+        """
+        if not stores:
+            raise PreAggError("cannot merge zero pre-aggregation stores")
+        head = stores[0]
+        for other in stores[1:]:
+            if (
+                other.granule_level != head.granule_level
+                or other.partition.members != head.partition.members
+                or set(other.gids) != set(head.gids)
+            ):
+                raise PreAggError(
+                    "shard stores disagree on granules or geometries; "
+                    "they were not built from one partitioning"
+                )
+        merged = cls(
+            moft,
+            head.time,
+            head.granule_level,
+            head.geometries,
+            layer=head.layer,
+            kind=head.kind,
+            name=head.name,
+            obs=head.obs,
+            build=False,
+        )
+        n_granules = len(merged.partition)
+        merged._cells = {gid: _GidCells(n_granules) for gid in merged.gids}
+        seen_objects: Set[Hashable] = set()
+        for store in stores:
+            overlap = seen_objects & set(store._oid_code)
+            if overlap:
+                raise PreAggError(
+                    f"shard stores share objects (e.g. "
+                    f"{next(iter(overlap))!r}); merge needs an object "
+                    f"partition"
+                )
+            seen_objects |= set(store._oid_code)
+            remap = np.array(
+                [merged._intern(oid) for oid in store._oid_values],
+                dtype=OID_DTYPE,
+            )
+            for code, last in store._last.items():
+                merged._last[int(remap[code])] = last
+            for gid in merged.gids:
+                src = store._cells[gid]
+                dst = merged._cells[gid]
+                dst.samples += src.samples
+                dst.dwell += src.dwell
+                for g in range(n_granules):
+                    if src.present[g].size:
+                        dst.present[g] = union_sorted_ids(
+                            [dst.present[g], np.sort(remap[src.present[g]])]
+                        )
+                    if src.passers[g].size:
+                        dst.passers[g] = union_sorted_ids(
+                            [dst.passers[g], np.sort(remap[src.passers[g]])]
+                        )
+                if src.span_oid.size:
+                    dst.span_oid = np.concatenate(
+                        [dst.span_oid, remap[src.span_oid]]
+                    )
+                    dst.span_a = np.concatenate([dst.span_a, src.span_a])
+                    dst.span_b = np.concatenate([dst.span_b, src.span_b])
+                    dst.span_dwell = np.concatenate(
+                        [dst.span_dwell, src.span_dwell]
+                    )
+        if snapshot is None:
+            snapshot = (moft.version, len(moft))
+        merged._built_version, merged._built_rows = snapshot
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"PreAggStore({self.name!r}, level={self.granule_level!r}, "
+            f"granules={len(self.partition)}, geometries={len(self.gids)}, "
+            f"objects={len(self._oid_values)}, "
+            f"stale={self.is_stale()})"
+        )
+
+
+__all__ = ["OID_DTYPE", "PreAggCell", "PreAggStore"]

@@ -130,6 +130,66 @@ class MovingObjectAggregateQuery:
         return {key: float(len(values)) for key, values in groups.items()}
 
 
+def total_dwell_time(
+    context: EvaluationContext,
+    target: Tuple[str, str],
+    constraints: Sequence[Tuple[str, Tuple[str, str]]],
+    moft_name: str = "FM",
+    window: Optional[Tuple[float, float]] = None,
+    stats=None,
+    use_preagg: bool = True,
+) -> float:
+    """Total interpolated time all objects spend inside the answer polygons.
+
+    The dwell-time analogue of
+    :func:`~repro.query.evaluator.count_objects_through`: answer the
+    geometric subquery, then sum — over every object and every answer
+    polygon — the time the linearly-interpolated trajectory spends
+    inside, optionally restricted to a ``[start, end]`` window
+    (validated like the count).  Overlapping polygons count dwell once
+    per polygon, which keeps the measure summable per geometry id
+    (Definition 4).
+
+    With ``use_preagg`` the planner routes through a registered fresh
+    :class:`~repro.preagg.PreAggStore`: cells and spanning records
+    answer the covered granule run, and boundary slivers are clipped
+    directly — no trajectory scan at all.  Exact up to float summation
+    order; the differential suite pins the tolerance.
+    """
+    from repro.mo.operations import time_inside
+    from repro.mo.trajectory import LinearInterpolationTrajectory
+    from repro.query.evaluator import geometric_subquery, validated_window
+    from repro.query.optimizer import route_through_window
+
+    moft = context.moft(moft_name)
+    window = validated_window(moft, window)
+    ids = geometric_subquery(context, target, constraints, obs=stats)
+    if not ids:
+        return 0.0
+    layer, kind = target
+    if use_preagg:
+        route = route_through_window(
+            context, target, ids, moft, window, stats=stats
+        )
+        if route is not None:
+            if window is None:
+                return route.store.dwell_time(sorted(ids, key=repr),
+                                              *route.run)
+            return route.store.window_dwell(sorted(ids, key=repr), *window)
+    elements = context.gis.layer(layer).elements(kind)
+    if window is not None:
+        t, _, _ = moft.as_arrays()
+        moft = moft.mask_rows((t >= window[0]) & (t <= window[1]))
+    total = 0.0
+    for oid in moft.objects():
+        if moft.sample_count(oid) < 2:
+            continue
+        trajectory = LinearInterpolationTrajectory(moft.trajectory_sample(oid))
+        for gid in ids:
+            total += time_inside(trajectory, elements[gid])
+    return total
+
+
 def count_per_group(
     region: SpatioTemporalRegion,
     context: EvaluationContext,

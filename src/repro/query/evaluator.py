@@ -229,6 +229,131 @@ def geometric_subquery(
         return result
 
 
+def validated_window(
+    moft: MOFT, window: Optional[Tuple[float, float]]
+) -> Optional[Tuple[float, float]]:
+    """Validate a ``[start, end]`` time window against a MOFT.
+
+    Raises :class:`EvaluationError` for a reversed window (``start >
+    end``) and for a window with no overlap with the MOFT's instant span
+    — both are almost always caller bugs (swapped bounds, wrong time
+    unit) that would otherwise silently answer 0.  Returns the window as
+    a float pair (None passes through: it means "the whole table").
+    """
+    if window is None:
+        return None
+    start, end = float(window[0]), float(window[1])
+    if start > end:
+        raise EvaluationError(
+            f"reversed time window: start {start} is after end {end}"
+        )
+    if len(moft) == 0:
+        raise EvaluationError(
+            f"time window [{start}, {end}] cannot overlap MOFT "
+            f"{moft.name!r}: the table is empty"
+        )
+    tmin, tmax = moft.time_range()
+    if end < tmin or start > tmax:
+        raise EvaluationError(
+            f"time window [{start}, {end}] lies outside the MOFT's "
+            f"instant span [{tmin}, {tmax}]"
+        )
+    return (start, end)
+
+
+def _counter_for(
+    context: EvaluationContext,
+    target: Tuple[str, str],
+    ids: Set[Hashable],
+    use_index: bool,
+    early_exit: bool,
+    vectorized: bool,
+    stats: Optional[EvaluationStats],
+) -> TrajectoryIntersectionCounter:
+    """Build the scan counter over one geometric answer (shared setup)."""
+    layer, kind = target
+    elements = context.gis.layer(layer).elements(kind)
+    index = (
+        context.geometry_index(layer, kind, ids, obs=stats)
+        if use_index
+        else None
+    )
+    return TrajectoryIntersectionCounter(
+        {gid: elements[gid] for gid in ids},
+        use_index=use_index,
+        early_exit=early_exit,
+        index=index,
+        vectorized_prefilter=vectorized,
+    )
+
+
+def objects_through(
+    context: EvaluationContext,
+    target: Tuple[str, str],
+    constraints: Sequence[Tuple[str, Tuple[str, str]]],
+    moft_name: str = "FM",
+    use_index: bool = True,
+    early_exit: bool = True,
+    stats: Optional[EvaluationStats] = None,
+    vectorized: bool = True,
+    executor: Optional["ShardedTrajectoryExecutor"] = None,
+    window: Optional[Tuple[float, float]] = None,
+    use_preagg: bool = True,
+) -> Set[Hashable]:
+    """The matched-object set behind :func:`count_objects_through`.
+
+    ``window`` restricts the trajectory scan to samples with ``start <=
+    t <= end`` (validated by :func:`validated_window`).  With
+    ``use_preagg`` (the default), the planner first tries
+    :func:`repro.query.optimizer.route_through_window`: a registered
+    fresh :class:`~repro.preagg.PreAggStore` answers the covered granule
+    run from its cells and spanning records, and only the misaligned
+    *sliver* residue — if any — is scanned (serially or through
+    ``executor``).  The hybrid is exact; the fallback is the plain
+    (possibly sharded, possibly windowed) scan.
+    """
+    from repro.query.optimizer import route_through_window
+
+    moft = context.moft(moft_name)
+    window = validated_window(moft, window)
+    ids = geometric_subquery(context, target, constraints, obs=stats)
+    if not ids:
+        return set()
+    if use_preagg:
+        route = route_through_window(
+            context, target, ids, moft, window, stats=stats
+        )
+        if route is not None:
+            matched = route.store.objects_through(ids, *route.run)
+            if route.sliver is not None:
+                counter = _counter_for(
+                    context, target, ids, use_index, early_exit,
+                    vectorized, stats,
+                )
+                if executor is not None:
+                    matched |= executor.matching_objects(
+                        counter, route.sliver, stats
+                    )
+                else:
+                    matched |= counter.matching_objects(route.sliver, stats)
+            return matched
+    counter = _counter_for(
+        context, target, ids, use_index, early_exit, vectorized, stats
+    )
+    if window is not None:
+        moft = _window_restricted(moft, window)
+    if executor is not None:
+        return executor.matching_objects(counter, moft, stats)
+    return counter.matching_objects(moft, stats)
+
+
+def _window_restricted(moft: MOFT, window: Tuple[float, float]) -> MOFT:
+    import numpy as np
+
+    t, _, _ = moft.as_arrays()
+    return moft.mask_rows((t >= window[0]) & (t <= window[1]))
+
+
 def count_objects_through(
     context: EvaluationContext,
     target: Tuple[str, str],
@@ -239,6 +364,8 @@ def count_objects_through(
     stats: Optional[EvaluationStats] = None,
     vectorized: bool = True,
     executor: Optional["ShardedTrajectoryExecutor"] = None,
+    window: Optional[Tuple[float, float]] = None,
+    use_preagg: bool = True,
 ) -> int:
     """The full Section 5 pipeline: geometric subquery then trajectory scan.
 
@@ -254,28 +381,26 @@ def count_objects_through(
     scan, fanning shards out over its backend.  The differential oracle
     suite (``tests/parallel``) asserts the sharded answers equal this
     serial path.
+
+    ``window`` restricts the count to a time window; ``use_preagg``
+    allows routing through a registered pre-aggregation store (see
+    :func:`objects_through` for both).
     """
-    ids = geometric_subquery(context, target, constraints, obs=stats)
-    if not ids:
-        return 0
-    layer, kind = target
-    elements = context.gis.layer(layer).elements(kind)
-    index = (
-        context.geometry_index(layer, kind, ids, obs=stats)
-        if use_index
-        else None
+    return len(
+        objects_through(
+            context,
+            target,
+            constraints,
+            moft_name=moft_name,
+            use_index=use_index,
+            early_exit=early_exit,
+            stats=stats,
+            vectorized=vectorized,
+            executor=executor,
+            window=window,
+            use_preagg=use_preagg,
+        )
     )
-    counter = TrajectoryIntersectionCounter(
-        {gid: elements[gid] for gid in ids},
-        use_index=use_index,
-        early_exit=early_exit,
-        index=index,
-        vectorized_prefilter=vectorized,
-    )
-    moft = context.moft(moft_name)
-    if executor is not None:
-        return len(executor.matching_objects(counter, moft, stats))
-    return counter.count(moft, stats)
 
 
 __all__ = [
@@ -283,5 +408,7 @@ __all__ = [
     "ShardedTrajectoryExecutor",
     "TrajectoryIntersectionCounter",
     "geometric_subquery",
+    "validated_window",
+    "objects_through",
     "count_objects_through",
 ]

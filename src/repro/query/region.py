@@ -15,7 +15,19 @@ checks and negations wait until their variables are bound.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import EvaluationError, QueryError
 from repro.geometry.index import UniformGridIndex, index_for_geometries
@@ -27,6 +39,9 @@ from repro.mo.operations import ever_within_distance, passes_through
 from repro.mo.trajectory import LinearInterpolationTrajectory
 from repro.query import ast
 from repro.temporal.timedim import TimeDimension
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.preagg.store import PreAggStore
 
 
 class EvaluationContext:
@@ -78,6 +93,9 @@ class EvaluationContext:
         self._grid_cache: Dict[
             Tuple[str, str, frozenset], UniformGridIndex
         ] = {}
+        # Registered pre-aggregation stores; the planner rewrite
+        # (repro.query.optimizer.route_through_window) consults these.
+        self._preagg_stores: List["PreAggStore"] = []
 
     # -- data access ----------------------------------------------------------
 
@@ -91,6 +109,42 @@ class EvaluationContext:
     def locate_point(self, layer: str, kind: str, point: Point) -> Set[Hashable]:
         """Evaluate the point rollup relation at a point."""
         return self.gis.point_rollup(layer, kind, point)
+
+    # -- pre-aggregation stores ----------------------------------------------
+
+    def register_preagg(self, store: "PreAggStore") -> "PreAggStore":
+        """Make a store visible to the planner rewrite; returns it."""
+        self._preagg_stores.append(store)
+        return store
+
+    @property
+    def has_preagg(self) -> bool:
+        """True when at least one store is registered (miss counters fire)."""
+        return bool(self._preagg_stores)
+
+    def preagg_for(
+        self,
+        moft: MOFT,
+        layer: str,
+        kind: str,
+        ids: Iterable[Hashable],
+    ) -> Optional["PreAggStore"]:
+        """The first registered store able to serve this (moft, layer, ids).
+
+        Matching is by MOFT *identity* (the store summarizes exactly that
+        table), layer/kind tags, and geometry coverage: every queried id
+        must be materialized.  Staleness is NOT checked here — the
+        planner decides whether a stale store is a miss.
+        """
+        wanted = set(ids)
+        for store in self._preagg_stores:
+            if store.moft is not moft:
+                continue
+            if store.layer != layer or store.kind != kind:
+                continue
+            if wanted <= store._gid_set:
+                return store
+        return None
 
     def geometry_index(
         self,

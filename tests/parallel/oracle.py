@@ -12,15 +12,23 @@ Use the query-specific helpers (:meth:`DifferentialOracle.check_count`,
 :meth:`DifferentialOracle.check_pietql`) for the built-in pipelines, or
 :meth:`DifferentialOracle.check` to compare any serial callable against
 a sharded one.
+
+With the materialized pre-aggregation layer (:mod:`repro.preagg`) the
+oracle is *three-way*: serial scan vs sharded scans vs the planner's
+store route (:meth:`DifferentialOracle.check_count_three_way`,
+:meth:`DifferentialOracle.check_dwell_three_way`).  Extra named runs
+report mismatches with the run name as the backend and ``n_shards=0``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.parallel import ShardedExecutor, ShardedPietQLExecutor
 from repro.pietql.executor import LayerBinding, PietQLExecutor, PietQLResult
+from repro.query.aggregate import total_dwell_time
 from repro.query.evaluator import count_objects_through
 from repro.query.region import EvaluationContext
 
@@ -103,25 +111,37 @@ class DifferentialOracle:
         serial_fn: Callable[[], object],
         sharded_fn: Callable[[str, int], object],
         normalize: Callable[[object], object] = lambda value: value,
+        extras: Optional[Mapping[str, Callable[[], object]]] = None,
+        equal: Optional[Callable[[object, object], bool]] = None,
     ) -> OracleReport:
         """Compare ``serial_fn()`` against every (backend, shard) run.
 
         ``sharded_fn(backend, n_shards)`` produces the parallel answer;
         ``normalize`` maps both sides into comparable values (e.g. a
-        result-object fingerprint).  Raises ``AssertionError`` listing
+        result-object fingerprint).  ``extras`` adds named answer paths
+        (e.g. the pre-agg planner route) run once each and held to the
+        same reference; their mismatches carry the name as the backend
+        and ``n_shards=0``.  ``equal`` overrides ``==`` for tolerant
+        comparison of float answers.  Raises ``AssertionError`` listing
         every divergence; returns the report (with the serial answer)
         when all runs agree.
         """
         expected = normalize(serial_fn())
+        same = equal if equal is not None else (lambda a, b: a == b)
         report = OracleReport(label=label, expected=expected)
         for backend in self.backends:
             for n_shards in self.shard_counts:
                 actual = normalize(sharded_fn(backend, n_shards))
                 report.runs += 1
-                if actual != expected:
+                if not same(expected, actual):
                     report.mismatches.append(
                         Mismatch(backend, n_shards, expected, actual)
                     )
+        for name, fn in (extras or {}).items():
+            actual = normalize(fn())
+            report.runs += 1
+            if not same(expected, actual):
+                report.mismatches.append(Mismatch(name, 0, expected, actual))
         report.raise_on_mismatch()
         return report
 
@@ -151,6 +171,111 @@ class DifferentialOracle:
 
         return self.check(
             f"count_objects_through(target={target})", serial, sharded
+        )
+
+    def check_count_three_way(
+        self,
+        context: EvaluationContext,
+        target: Tuple[str, str],
+        constraints: Sequence[Tuple[str, Tuple[str, str]]],
+        moft_name: str = "FM",
+        window: Optional[Tuple[float, float]] = None,
+    ) -> OracleReport:
+        """Serial scan vs sharded scans vs the pre-agg planner route.
+
+        ``context`` must carry a registered fresh
+        :class:`~repro.preagg.PreAggStore` for the target; the scan legs
+        force ``use_preagg=False`` so they remain an independent
+        reference, while the two extra legs route through the store —
+        serially and with a sharded executor (which shards the residual
+        sliver scan on misaligned windows).  The preagg legs also assert
+        the route actually fired (``preagg_hits`` advanced): a silently
+        falling-back rewrite would otherwise vacuously pass.
+        """
+
+        def serial() -> int:
+            return count_objects_through(
+                context, target, constraints, moft_name=moft_name,
+                window=window, use_preagg=False,
+            )
+
+        def sharded(backend: str, n_shards: int) -> int:
+            executor = ShardedExecutor(
+                backend=backend, n_shards=n_shards, obs=context.obs
+            )
+            return executor.count_objects_through(
+                context, target, constraints, moft_name=moft_name,
+                window=window, use_preagg=False,
+            )
+
+        def routed(executor: Optional[ShardedExecutor]) -> int:
+            before = context.obs.counters.get("preagg_hits", 0)
+            value = count_objects_through(
+                context, target, constraints, moft_name=moft_name,
+                window=window, use_preagg=True, executor=executor,
+            )
+            assert context.obs.counters.get("preagg_hits", 0) == before + 1, (
+                f"pre-agg route did not fire for window={window}"
+            )
+            return value
+
+        return self.check(
+            f"count_objects_through(target={target}, window={window})",
+            serial,
+            sharded,
+            extras={
+                "preagg": lambda: routed(None),
+                "preagg+sharded-sliver": lambda: routed(
+                    ShardedExecutor(
+                        backend="threads", n_shards=3, obs=context.obs
+                    )
+                ),
+            },
+        )
+
+    def check_dwell_three_way(
+        self,
+        context: EvaluationContext,
+        target: Tuple[str, str],
+        constraints: Sequence[Tuple[str, Tuple[str, str]]],
+        moft_name: str = "FM",
+        window: Optional[Tuple[float, float]] = None,
+    ) -> OracleReport:
+        """Serial dwell-time aggregate vs the pre-agg cell route.
+
+        Dwell is a float sum whose terms associate differently between
+        the interval-merging serial path and the per-segment store
+        cells, so equality is up to a tight relative tolerance; counts
+        and id sets elsewhere stay exact.  There is no sharded dwell
+        scan, so the backend legs re-run the serial path (degenerate but
+        keeps the report shape uniform).
+        """
+
+        def serial() -> float:
+            return total_dwell_time(
+                context, target, constraints, moft_name=moft_name,
+                window=window, use_preagg=False,
+            )
+
+        def routed() -> float:
+            before = context.obs.counters.get("preagg_hits", 0)
+            value = total_dwell_time(
+                context, target, constraints, moft_name=moft_name,
+                window=window, use_preagg=True,
+            )
+            assert context.obs.counters.get("preagg_hits", 0) == before + 1, (
+                f"pre-agg dwell route did not fire for window={window}"
+            )
+            return value
+
+        return self.check(
+            f"total_dwell_time(target={target}, window={window})",
+            serial,
+            lambda backend, n_shards: serial(),
+            extras={"preagg": routed},
+            equal=lambda a, b: math.isclose(
+                a, b, rel_tol=1e-9, abs_tol=1e-9
+            ),
         )
 
     def check_pietql(

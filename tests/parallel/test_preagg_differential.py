@@ -1,0 +1,251 @@
+"""Three-way differential suite: serial vs sharded vs pre-aggregated.
+
+The pre-aggregation layer is an execution strategy, never a semantics
+change — the same contract the sharded engine lives under.  Every query
+here runs through (1) the seed serial scan, (2) every sharded backend,
+and (3) the planner's store route, including misaligned windows that
+force the hybrid store-cells-plus-sliver-scan path, and incremental
+store updates after MOFT appends.
+
+Contexts are built fresh per module (not the shared session fixtures):
+registering a store mutates the context's planner state, which must not
+leak into the other differential tests.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.gis import NODE, POLYGON, POLYLINE
+from repro.parallel import ShardedExecutor
+from repro.pietql.executor import LayerBinding, PietQLExecutor
+from repro.preagg import PreAggStore
+from repro.query.evaluator import count_objects_through
+from repro.query.region import EvaluationContext
+from repro.synth import CityConfig, build_city, figure1_instance
+from repro.synth.movement import random_waypoint_moft
+from repro.temporal.calendar import hourly
+from repro.temporal.timedim import TimeDimension
+
+from tests.parallel.oracle import DifferentialOracle
+
+FIG1_TARGET = ("Ln", POLYGON)
+FIG1_CONSTRAINTS = [
+    ("intersects", ("Lr", POLYLINE)),
+    ("contains", ("Ls", NODE)),
+]
+SYNTH_TARGET = ("Ln", POLYGON)
+SYNTH_CONSTRAINTS = [("intersects", ("Lr", POLYLINE))]
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return DifferentialOracle()
+
+
+@pytest.fixture(scope="module")
+def fig1_preagg():
+    """A fresh Figure 1 context with an hour-granule store registered."""
+    context = figure1_instance().context()
+    moft = context.moft("FMbus")
+    elements = context.gis.layer("Ln").elements(POLYGON)
+    store = PreAggStore(
+        moft, context.time, "hour", elements, layer="Ln", kind=POLYGON
+    )
+    context.register_preagg(store)
+    return context
+
+
+@pytest.fixture(scope="module")
+def synth_preagg():
+    """The 10k-sample synthetic world with a day-granule store.
+
+    Same construction as the shared ``synth_world`` fixture (identical
+    rng seeds, so identical world), but module-local so the registered
+    store stays out of the other differential tests.
+    """
+    city = build_city(
+        CityConfig(cols=6, rows=6), rng=np.random.default_rng(20060109)
+    )
+    moft = random_waypoint_moft(
+        city.bounding_box,
+        n_objects=100,
+        n_instants=100,
+        speed=city.config.block_size / 2,
+        rng=np.random.default_rng(42),
+    )
+    assert len(moft) == 10_000
+    time_dim = TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(100)
+    )
+    context = EvaluationContext(city.gis, time_dim, moft)
+    elements = city.gis.layer("Ln").elements(POLYGON)
+    store = PreAggStore(
+        moft, time_dim, "day", elements, layer="Ln", kind=POLYGON
+    )
+    context.register_preagg(store)
+    return context
+
+
+class TestFig1ThreeWay:
+    def test_full_span(self, oracle, fig1_preagg):
+        oracle.check_count_three_way(
+            fig1_preagg, FIG1_TARGET, FIG1_CONSTRAINTS, moft_name="FMbus"
+        )
+
+    def test_aligned_window(self, oracle, fig1_preagg):
+        # The Morning granule run: instants {2, 3, 4}.
+        oracle.check_count_three_way(
+            fig1_preagg, FIG1_TARGET, FIG1_CONSTRAINTS,
+            moft_name="FMbus", window=(2.0, 4.0),
+        )
+
+    def test_dwell(self, oracle, fig1_preagg):
+        oracle.check_dwell_three_way(
+            fig1_preagg, FIG1_TARGET, FIG1_CONSTRAINTS, moft_name="FMbus"
+        )
+
+
+class TestSynthThreeWay:
+    def test_full_span(self, oracle, synth_preagg):
+        oracle.check_count_three_way(
+            synth_preagg, SYNTH_TARGET, SYNTH_CONSTRAINTS
+        )
+
+    def test_aligned_window(self, oracle, synth_preagg):
+        # Days 1..2 exactly: instants 24..71 on hourly day granules.
+        store = synth_preagg._preagg_stores[0]
+        assert store.is_aligned(24.0, 71.0)
+        oracle.check_count_three_way(
+            synth_preagg, SYNTH_TARGET, SYNTH_CONSTRAINTS, window=(24.0, 71.0)
+        )
+
+    @pytest.mark.parametrize(
+        "window",
+        [(30.5, 80.5), (12.0, 60.0), (23.5, 72.5)],
+        ids=["both-edges", "left-sliver", "thin-slivers"],
+    )
+    def test_misaligned_window_hybrid(self, oracle, synth_preagg, window):
+        """Misaligned windows force the store + sliver-scan hybrid."""
+        store = synth_preagg._preagg_stores[0]
+        assert not store.is_aligned(*window)
+        assert store.covered_run(*window) is not None
+        before = synth_preagg.obs.counters.get("sliver_scan_rows", 0)
+        oracle.check_count_three_way(
+            synth_preagg, SYNTH_TARGET, SYNTH_CONSTRAINTS, window=window
+        )
+        assert synth_preagg.obs.counters.get("sliver_scan_rows", 0) > before, (
+            "hybrid path did not scan any sliver rows"
+        )
+
+    @pytest.mark.parametrize("window", [None, (24.0, 71.0), (30.5, 80.5)])
+    def test_dwell(self, oracle, synth_preagg, window):
+        oracle.check_dwell_three_way(
+            synth_preagg, SYNTH_TARGET, SYNTH_CONSTRAINTS, window=window
+        )
+
+    def test_incremental_update_then_requery(self, oracle, synth_preagg):
+        """Appends make the store stale; update() restores exact routing."""
+        context = synth_preagg
+        store = context._preagg_stores[0]
+        moft = context.moft("FM")
+        rng = np.random.default_rng(7)
+        box_elements = context.gis.layer("Ln").elements(POLYGON)
+        xs = [p.bbox for p in box_elements.values()]
+        min_x = min(b.min_x for b in xs)
+        max_x = max(b.max_x for b in xs)
+        min_y = min(b.min_y for b in xs)
+        max_y = max(b.max_y for b in xs)
+        oids, ts, pxs, pys = [], [], [], []
+        for oid in ("N1", "N2", "N3", "N4"):
+            for t in range(80, 100):
+                oids.append(oid)
+                ts.append(float(t))
+                pxs.append(float(rng.uniform(min_x, max_x)))
+                pys.append(float(rng.uniform(min_y, max_y)))
+        moft.extend_columns(
+            np.array(oids, dtype=object),
+            np.array(ts),
+            np.array(pxs),
+            np.array(pys),
+        )
+        assert store.is_stale()
+        # Stale store: the planner must fall back (counted as a miss)
+        # and still answer exactly.
+        misses = context.obs.counters.get("preagg_misses", 0)
+        fallback = count_objects_through(
+            context, SYNTH_TARGET, SYNTH_CONSTRAINTS, window=(30.5, 80.5)
+        )
+        assert context.obs.counters["preagg_misses"] == misses + 1
+        reference = count_objects_through(
+            context, SYNTH_TARGET, SYNTH_CONSTRAINTS,
+            window=(30.5, 80.5), use_preagg=False,
+        )
+        assert fallback == reference
+        # Incremental update, then the full three-way suite again.
+        assert store.update() == "delta"
+        assert not store.is_stale()
+        for window in (None, (24.0, 71.0), (30.5, 80.5)):
+            oracle.check_count_three_way(
+                context, SYNTH_TARGET, SYNTH_CONSTRAINTS, window=window
+            )
+            oracle.check_dwell_three_way(
+                context, SYNTH_TARGET, SYNTH_CONSTRAINTS, window=window
+            )
+
+
+class TestPietQLPreAgg:
+    """The Piet-QL THROUGH-with-rollup rewrite against plain execution."""
+
+    QUERIES = [
+        (
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE intersection(layer.rivers, layer.neighborhoods) "
+            "AND contains(layer.neighborhoods, layer.schools) "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT"
+        ),
+        (
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "WHERE contains(layer.neighborhoods, layer.schools) "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT "
+            "DURING timeOfDay = 'Morning'"
+        ),
+    ]
+    BINDINGS = {
+        "neighborhoods": LayerBinding("Ln", POLYGON),
+        "rivers": LayerBinding("Lr", POLYLINE),
+        "schools": LayerBinding("Ls", NODE),
+    }
+
+    @pytest.mark.parametrize("query", QUERIES, ids=["through", "during"])
+    def test_rewrite_matches_scan(self, fig1_preagg, query):
+        plain = figure1_instance().context()
+        expected = PietQLExecutor(plain, self.BINDINGS).execute(query)
+        hits = fig1_preagg.obs.counters.get("preagg_hits", 0)
+        routed = PietQLExecutor(fig1_preagg, self.BINDINGS).execute(query)
+        assert fig1_preagg.obs.counters["preagg_hits"] == hits + 1, (
+            "Piet-QL rewrite did not fire"
+        )
+        assert routed.count == expected.count
+        assert routed.matched_objects == expected.matched_objects
+
+    def test_sub_run_during_falls_back(self, fig1_preagg):
+        """A DURING set that is not a whole granule run must miss."""
+        # 'Other' = instants {1, 5, 6}: non-contiguous, not a run.
+        query = (
+            "SELECT layer.neighborhoods FROM Fig1 "
+            "| COUNT OBJECTS FROM FMbus THROUGH RESULT "
+            "DURING timeOfDay = 'Other'"
+        )
+        plain = figure1_instance().context()
+        expected = PietQLExecutor(plain, self.BINDINGS).execute(query)
+        hits = fig1_preagg.obs.counters.get("preagg_hits", 0)
+        misses = fig1_preagg.obs.counters.get("preagg_misses", 0)
+        routed = PietQLExecutor(fig1_preagg, self.BINDINGS).execute(query)
+        assert fig1_preagg.obs.counters.get("preagg_hits", 0) == hits
+        assert fig1_preagg.obs.counters["preagg_misses"] == misses + 1
+        assert routed.count == expected.count
+        assert routed.matched_objects == expected.matched_objects

@@ -1,0 +1,174 @@
+"""Property tests: granule partitions really partition the instants.
+
+The pre-aggregation store's exactness proof leans on two structural
+facts about :meth:`TimeDimension.granules`:
+
+* **partition** — every registered instant lands in exactly one granule
+  (none dropped, none duplicated), and granules are *contiguous* runs of
+  the sorted instant list, so windows decompose into whole granules plus
+  edge slivers;
+* **lattice rollup** — :meth:`GranulePartition.rollup_codes` maps each
+  granule to exactly one parent granule, parents inherit exactly the
+  union of their children's instants (no instant in two parents, none
+  dropped), and straddling granules are rejected.
+
+Hypothesis builds arbitrary contiguous partitions (and adversarial
+non-contiguous ones) from random instant sets and cut points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RollupError
+from repro.synth import figure1_instance
+from repro.temporal.timedim import TimeDimension
+
+
+def _cuts_to_runs(n: int, cuts: list) -> list:
+    """Split ``range(n)`` into contiguous runs at the given cut points."""
+    boundaries = sorted({c for c in cuts if 0 < c < n}) + [n]
+    runs, start = [], 0
+    for boundary in boundaries:
+        runs.append(list(range(start, boundary)))
+        start = boundary
+    return runs
+
+
+@st.composite
+def contiguous_worlds(draw):
+    """A TimeDimension with explicit hour granules over random instants.
+
+    Returns ``(time, instants, hour_runs, parent_of_hour)`` where the
+    hour level partitions the sorted instants into contiguous runs and
+    the timeOfDay level groups consecutive hours (also contiguously).
+    """
+    n = draw(st.integers(min_value=1, max_value=30))
+    offsets = draw(
+        st.lists(
+            st.floats(0.125, 4.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    instants = list(np.cumsum(np.asarray(offsets, dtype=float)))
+    hour_cuts = draw(st.lists(st.integers(1, max(n - 1, 1)), max_size=6))
+    hour_runs = _cuts_to_runs(n, hour_cuts)
+    parent_cuts = draw(
+        st.lists(st.integers(1, max(len(hour_runs) - 1, 1)), max_size=3)
+    )
+    parent_runs = _cuts_to_runs(len(hour_runs), parent_cuts)
+    rollups = []
+    parent_of_hour = {}
+    for h, run in enumerate(hour_runs):
+        for i in run:
+            rollups.append(("timeId", instants[i], "hour", f"h{h}"))
+    for p, run in enumerate(parent_runs):
+        for h in run:
+            rollups.append(("hour", f"h{h}", "timeOfDay", f"p{p}"))
+            parent_of_hour[f"h{h}"] = f"p{p}"
+    return (
+        TimeDimension.from_explicit_rollups(rollups),
+        sorted(instants),
+        hour_runs,
+        parent_of_hour,
+    )
+
+
+class TestGranulePartitionProperties:
+    @given(contiguous_worlds())
+    @settings(max_examples=60, deadline=None)
+    def test_granules_partition_instants(self, world):
+        """Every instant in exactly one granule; granules are intervals."""
+        time, instants, hour_runs, _ = world
+        partition = time.granules("hour")
+        assert len(partition) == len(hour_runs)
+        # None dropped, none duplicated: the granule sizes sum to the
+        # instant count and codes_for maps every instant to one granule.
+        codes = partition.codes_for(np.asarray(instants, dtype=float))
+        assert (codes >= 0).all()
+        counts = np.bincount(codes, minlength=len(partition))
+        assert int(counts.sum()) == len(instants)
+        # Contiguity: codes over the sorted instants are non-decreasing,
+        # so each granule is an interval of the timeline.
+        assert (np.diff(codes) >= 0).all()
+        # Each granule's span brackets exactly its own instants.
+        for g in range(len(partition)):
+            start, end = partition.span(g, g)
+            inside = [t for t in instants if start <= t <= end]
+            assert inside == [instants[i] for i in np.flatnonzero(codes == g)]
+
+    @given(contiguous_worlds())
+    @settings(max_examples=60, deadline=None)
+    def test_rollup_is_a_partition_of_granules(self, world):
+        """No instant in two parents, none dropped, one parent per child."""
+        time, instants, _, parent_of_hour = world
+        partition = time.granules("hour")
+        parent, mapping = partition.rollup_codes(time, "timeOfDay")
+        # Total: every child granule got exactly one parent code.
+        assert mapping.shape == (len(partition),)
+        assert (mapping >= 0).all() and (mapping < len(parent)).all()
+        # The mapping agrees with the declared rollup function.
+        for g, member in enumerate(partition.members):
+            assert parent.members[mapping[g]] == parent_of_hour[member]
+        # Parent instants = disjoint union of child instants.
+        child_codes = partition.codes_for(np.asarray(instants, dtype=float))
+        parent_codes = parent.codes_for(np.asarray(instants, dtype=float))
+        assert (parent_codes == mapping[child_codes]).all()
+        counts = np.bincount(parent_codes, minlength=len(parent))
+        assert int(counts.sum()) == len(instants)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=24))
+    @settings(max_examples=80, deadline=None)
+    def test_interleaved_granules_are_rejected(self, labels):
+        """A granule whose instants interleave another's must raise."""
+        rollups = [
+            ("timeId", float(i), "hour", labels[i])
+            for i in range(len(labels))
+        ]
+        time = TimeDimension.from_explicit_rollups(rollups)
+        # The assignment is contiguous iff each label forms one block of
+        # consecutive positions.
+        blocks = 1 + sum(
+            1 for a, b in zip(labels, labels[1:]) if a != b
+        )
+        if blocks == len(set(labels)):
+            partition = time.granules("hour")
+            assert len(partition) == blocks
+        else:
+            with pytest.raises(RollupError, match="not contiguous"):
+                time.granules("hour")
+
+
+class TestFig1Granules:
+    def test_hour_level_partitions(self):
+        time = figure1_instance().context().time
+        partition = time.granules("hour")
+        assert len(partition) == 6  # each instant its own toy hour
+
+    def test_non_contiguous_level_raises(self):
+        # Fig1's timeOfDay has Other = {1, 5, 6} wrapped around Morning.
+        time = figure1_instance().context().time
+        with pytest.raises(RollupError, match="not contiguous"):
+            time.granules("timeOfDay")
+
+    def test_straddling_rollup_raises(self):
+        # hour granules 1..6 cannot roll into timeOfDay parents without
+        # 'Other' straddling 'Morning'.
+        time = figure1_instance().context().time
+        partition = time.granules("hour")
+        with pytest.raises(RollupError):
+            partition.rollup_codes(time, "timeOfDay")
+
+    def test_missing_rollup_drops_instant_raises(self):
+        rollups = [
+            ("timeId", 1.0, "hour", "h0"),
+            ("timeId", 2.0, "hour", "h0"),
+        ]
+        time = TimeDimension.from_explicit_rollups(rollups)
+        time.instance.add_member("timeId", 3.0)  # no hour rollup
+        with pytest.raises(RollupError, match="drop"):
+            time.granules("hour")
