@@ -1,17 +1,40 @@
-"""``python -m repro`` — a one-screen demonstration.
+"""``python -m repro`` — the command-line entry point.
 
-Renders the paper's Figure 1 as ASCII, runs the Remark 1 query and prints
-the 4/3 answer with its breakdown.
+Two subcommands:
+
+* ``demo`` (the default) — renders the paper's Figure 1 as ASCII, runs
+  the Remark 1 query and prints the 4/3 answer with its breakdown;
+* ``info PATH`` — reads a MOFT CSV dump (``oid,t,x,y`` with a header)
+  and prints a one-screen summary: rows, objects, time span, bounding
+  box.
+
+Failure semantics: bad input (a missing file, a malformed CSV) exits
+with status 2 and a single ``error: ...`` line on stderr — never a
+traceback.  Every domain failure is a typed
+:class:`~repro.errors.ReproError` subclass, which is what makes that
+guarantee enforceable (see ``tests/test_cli.py``).
 """
 
-from repro.query import MovingObjectAggregateQuery, AggregateSpec, RegionBuilder, count_per_group
-from repro.synth import LOW_INCOME_THRESHOLD, figure1_instance
-from repro.viz import render_figure1
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
 
 
-def main() -> None:
-    """Entry point for ``python -m repro``."""
-    print(__doc__.strip().splitlines()[0])
+def _run_demo() -> int:
+    from repro.query import (
+        AggregateSpec,
+        MovingObjectAggregateQuery,
+        RegionBuilder,
+        count_per_group,
+    )
+    from repro.synth import LOW_INCOME_THRESHOLD, figure1_instance
+    from repro.viz import render_figure1
+
+    print("Figure 1 demo: the paper's running example.")
     print()
     print(render_figure1(width=64, height=20))
     print()
@@ -40,7 +63,52 @@ def main() -> None:
         "Contributions: "
         + ", ".join(f"{k[0]}×{v:.0f}" for k, v in sorted(per_object.items()))
     )
+    return 0
+
+
+def _run_info(path: str) -> int:
+    from repro.mo.io import read_csv
+
+    moft = read_csv(path)
+    print(f"MOFT CSV: {path}")
+    print(f"  rows:    {len(moft)}")
+    print(f"  objects: {len(moft.objects())}")
+    if len(moft):
+        t_min, t_max = moft.time_range()
+        box = moft.bbox()
+        print(f"  time:    [{t_min:g}, {t_max:g}]")
+        print(
+            f"  bbox:    ({box.min_x:g}, {box.min_y:g}) — "
+            f"({box.max_x:g}, {box.max_y:g})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Moving-object aggregation (Kuijpers & Vaisman, ICDE 2007): "
+            "run the Figure 1 demo or inspect a MOFT CSV dump."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="render Figure 1 and run the Remark 1 query")
+    info = sub.add_parser("info", help="summarize a MOFT CSV file")
+    info.add_argument("path", help="path to a MOFT CSV (oid,t,x,y header)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "info":
+            return _run_info(args.path)
+        return _run_demo()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

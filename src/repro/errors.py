@@ -65,3 +65,35 @@ class TrajectoryError(ReproError):
 
 class PreAggError(ReproError):
     """A pre-aggregation store cannot be built, updated or queried."""
+
+
+class ShardExecutionError(EvaluationError):
+    """A sharded query could not produce a verified-complete result.
+
+    Raised by the resilient execution layer (:mod:`repro.parallel`) when a
+    shard task fails past its retry/degradation budget, or when the
+    result-completeness check finds a shard unaccounted for before the
+    merge.  The engine's contract is *exact-or-error*: a partial fan-out
+    is never silently merged into an under-counted answer — it surfaces
+    here instead.
+
+    Attributes
+    ----------
+    failures:
+        Tuple of per-attempt failure records (``repro.parallel.backends
+        .TaskFailure``): which task, which attempt, what went wrong.
+    faults:
+        The injected-fault trace — the ``repro.faults.FaultSpec`` entries
+        of a :class:`~repro.faults.FaultPlan` that actually fired during
+        the run (empty outside fault-injection tests).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failures: tuple = (),
+        faults: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+        self.faults = tuple(faults)

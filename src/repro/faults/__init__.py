@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the sharded execution engine.
+
+``repro.faults`` supplies the *chaos* side of the engine's
+exact-or-error contract: a seeded :class:`FaultPlan` schedules per-shard
+failures (raised exceptions, artificial latency, dropped tasks,
+truncated partial results) that the resilient fan-out in
+:mod:`repro.parallel` must absorb — by retrying, degrading backends, or
+raising a typed :class:`~repro.errors.ShardExecutionError` carrying the
+injected-fault trace — while never returning an answer that differs
+from the serial scan.  The chaos differential campaign in
+``tests/faults`` generates plans with hypothesis and enforces exactly
+that invariant.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = ["FAULT_KINDS", "FaultInjected", "FaultPlan", "FaultSpec"]

@@ -1,0 +1,232 @@
+"""Deterministic, seeded fault plans for the resilient execution layer.
+
+A :class:`FaultPlan` schedules injectable faults per *(shard task,
+attempt)* pair.  The resilient fan-out loop in
+:func:`repro.parallel.backends.resilient_map` consults the plan before
+accepting each task attempt's outcome and, when a fault is scheduled,
+replaces the real outcome with the faulted one — a raised exception, an
+artificially slow attempt (which trips the per-task timeout), a dropped
+task, or a truncated partial result.  Injection happens in the
+*coordinator*, not the workers, so a plan behaves identically under the
+serial, thread and process backends — the property the chaos
+differential campaign (``tests/faults``) depends on.
+
+Plans are deterministic by construction: :meth:`FaultPlan.random` draws
+from an explicitly seeded stream via :func:`repro.synth.rng.resolve_rng`
+(never wall-clock, never global random state), so a failing chaos
+example replays from its seed alone.  Faults that actually fire are
+recorded on the plan's :attr:`~FaultPlan.injected` trace and travel on
+the :class:`~repro.errors.ShardExecutionError` a doomed run raises.
+
+Fault kinds
+-----------
+
+``raise``
+    The attempt raises :class:`FaultInjected` instead of returning.
+``latency``
+    The attempt's reported wall time is inflated by ``latency_s``
+    seconds (no real sleep — the campaign stays fast), deterministically
+    exercising the timeout path when a
+    :class:`~repro.parallel.backends.RetryPolicy` timeout is set.
+``drop``
+    The attempt's result vanishes, as if the worker died before
+    replying; completeness verification sees the hole and retries.
+``truncate``
+    The attempt's result arrives corrupt — the envelope fails its
+    integrity check (a worker died mid-serialization) — and is treated
+    as a failure, never merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.synth.rng import RandomLike, resolve_rng
+
+#: Every injectable fault kind, in the order the seeded generator draws.
+FAULT_KINDS: Tuple[str, ...] = ("raise", "latency", "drop", "truncate")
+
+
+class FaultInjected(ReproError):
+    """The exception an injected ``raise`` fault makes an attempt raise."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what happens to one task's attempt.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    task_index:
+        Index of the shard task in the fan-out's payload order.
+    attempt:
+        Which attempt of that task the fault hits (0 = first try), so a
+        plan can make a task fail once and then succeed on retry, or
+        fail every attempt to force a typed error.
+    latency_s:
+        For ``latency`` faults: seconds added to the attempt's reported
+        wall time.
+    """
+
+    kind: str
+    task_index: int
+    attempt: int = 0
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.task_index < 0 or self.attempt < 0:
+            raise ReproError(
+                f"fault coordinates must be >= 0, got task_index="
+                f"{self.task_index}, attempt={self.attempt}"
+            )
+        if self.latency_s < 0:
+            raise ReproError(f"latency_s must be >= 0, got {self.latency_s}")
+
+    def describe(self) -> str:
+        extra = f", latency_s={self.latency_s:g}" if self.kind == "latency" else ""
+        return f"{self.kind}(task={self.task_index}, attempt={self.attempt}{extra})"
+
+
+class FaultPlan:
+    """A schedule of faults keyed by ``(task_index, attempt)``.
+
+    At most one fault per key (two faults on the same attempt would be
+    order-ambiguous, which a deterministic harness cannot allow).  The
+    plan doubles as the injection *trace*: every fault that actually
+    fires is appended to :attr:`injected`, in firing order, and a
+    :class:`~repro.errors.ShardExecutionError` raised under the plan
+    carries that trace.
+    """
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
+        self._by_key: Dict[Tuple[int, int], FaultSpec] = {}
+        for fault in faults:
+            key = (fault.task_index, fault.attempt)
+            if key in self._by_key:
+                raise ReproError(
+                    f"duplicate fault for task {fault.task_index} attempt "
+                    f"{fault.attempt}: {self._by_key[key].describe()} vs "
+                    f"{fault.describe()}"
+                )
+            self._by_key[key] = fault
+        #: Faults that actually fired, in firing order (the trace).
+        self.injected: List[FaultSpec] = []
+
+    # -- schedule ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(sorted(
+            self._by_key.values(), key=lambda f: (f.task_index, f.attempt)
+        ))
+
+    def __bool__(self) -> bool:
+        # A plan with zero faults is still a plan (the zero-fault chaos
+        # case); truthiness reflects "has any fault", which callers use
+        # to pick the fast path.
+        return bool(self._by_key)
+
+    def fault_for(self, task_index: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault scheduled for this task attempt, if any."""
+        return self._by_key.get((task_index, attempt))
+
+    # -- trace ---------------------------------------------------------------
+
+    def record(self, fault: FaultSpec) -> None:
+        """Append one fired fault to the injection trace."""
+        self.injected.append(fault)
+
+    @property
+    def trace(self) -> Tuple[FaultSpec, ...]:
+        """The faults that fired so far, in firing order."""
+        return tuple(self.injected)
+
+    def reset_trace(self) -> None:
+        """Clear the firing record (the schedule is untouched)."""
+        self.injected.clear()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: resilient machinery engaged, zero faults."""
+        return cls(())
+
+    @classmethod
+    def single(
+        cls,
+        kind: str,
+        task_index: int = 0,
+        attempt: int = 0,
+        latency_s: float = 0.0,
+    ) -> "FaultPlan":
+        """A one-fault plan (unit-test convenience)."""
+        return cls([FaultSpec(kind, task_index, attempt, latency_s)])
+
+    @classmethod
+    def always(
+        cls, kind: str, n_tasks: int, max_attempts: int = 8
+    ) -> "FaultPlan":
+        """Fault every attempt of every task — forces a typed error."""
+        return cls([
+            FaultSpec(kind, task, attempt)
+            for task in range(n_tasks)
+            for attempt in range(max_attempts)
+        ])
+
+    @classmethod
+    def random(
+        cls,
+        seed: RandomLike,
+        n_tasks: int,
+        rate: float = 0.25,
+        max_attempts: int = 3,
+        kinds: Sequence[str] = FAULT_KINDS,
+        latency_s: float = 10.0,
+    ) -> "FaultPlan":
+        """Draw a plan from a seeded stream (deterministic per seed).
+
+        For every ``(task, attempt)`` pair with ``task < n_tasks`` and
+        ``attempt < max_attempts``, a fault fires with probability
+        ``rate``; its kind is drawn uniformly from ``kinds`` and
+        ``latency`` faults carry up to ``latency_s`` seconds.  ``seed``
+        is anything :func:`repro.synth.rng.resolve_rng` accepts (an int,
+        a ``numpy.random.Generator``, a ``random.Random``); equal seeds
+        give equal plans, byte for byte.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ReproError(f"fault rate must be in [0, 1], got {rate}")
+        if not kinds:
+            raise ReproError("fault plan needs at least one kind to draw")
+        source = resolve_rng(0, rng=seed) if seed is not None else resolve_rng(0)
+        faults: List[FaultSpec] = []
+        for task in range(n_tasks):
+            for attempt in range(max_attempts):
+                if source.random() >= rate:
+                    continue
+                kind = kinds[source.randint(0, len(kinds) - 1)]
+                injected_latency = (
+                    source.uniform(0.0, latency_s) if kind == "latency" else 0.0
+                )
+                faults.append(FaultSpec(kind, task, attempt, injected_latency))
+        return cls(faults)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(faults={len(self._by_key)}, "
+            f"fired={len(self.injected)})"
+        )
+
+
+__all__ = ["FAULT_KINDS", "FaultInjected", "FaultSpec", "FaultPlan"]

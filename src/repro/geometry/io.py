@@ -57,7 +57,12 @@ def _parse_coords(text: str) -> List[Point]:
         parts = pair.split()
         if len(parts) != 2:
             raise GeometryError(f"malformed WKT coordinate pair: {pair!r}")
-        points.append(Point(float(parts[0]), float(parts[1])))
+        try:
+            points.append(Point(float(parts[0]), float(parts[1])))
+        except ValueError as exc:
+            raise GeometryError(
+                f"non-numeric WKT coordinate in pair {pair!r}"
+            ) from exc
     return points
 
 
@@ -73,8 +78,13 @@ def from_wkt(text: str) -> object:
         raise GeometryError(f"unparseable WKT: {text[:60]!r}")
     kind, body = match.group(1), match.group(2).strip()
     if kind == "POINT":
-        (point,) = _parse_coords(body)
-        return point
+        points = _parse_coords(body)
+        if len(points) != 1:
+            raise GeometryError(
+                f"POINT must have exactly one coordinate pair, "
+                f"got {len(points)}: {text[:60]!r}"
+            )
+        return points[0]
     if kind == "LINESTRING":
         return Polyline(_parse_coords(body))
     # POLYGON: split rings on top-level parentheses.
@@ -139,16 +149,25 @@ def from_geojson(data: Dict) -> object:
         coordinates = data["coordinates"]
     except (KeyError, TypeError):
         raise GeometryError("malformed GeoJSON geometry") from None
-    if kind == "Point":
-        return Point(float(coordinates[0]), float(coordinates[1]))
-    if kind == "LineString":
-        return Polyline([Point(float(x), float(y)) for x, y in coordinates])
-    if kind == "Polygon":
-        rings = [
-            [Point(float(x), float(y)) for x, y in ring]
-            for ring in coordinates
-        ]
-        if not rings:
-            raise GeometryError("GeoJSON polygon without rings")
-        return Polygon(rings[0], holes=rings[1:])
+    try:
+        if kind == "Point":
+            return Point(float(coordinates[0]), float(coordinates[1]))
+        if kind == "LineString":
+            return Polyline(
+                [Point(float(x), float(y)) for x, y in coordinates]
+            )
+        if kind == "Polygon":
+            rings = [
+                [Point(float(x), float(y)) for x, y in ring]
+                for ring in coordinates
+            ]
+            if not rings:
+                raise GeometryError("GeoJSON polygon without rings")
+            return Polygon(rings[0], holes=rings[1:])
+    except GeometryError:
+        raise
+    except (ValueError, TypeError, IndexError, KeyError) as exc:
+        raise GeometryError(
+            f"malformed GeoJSON {kind} coordinates: {exc}"
+        ) from exc
     raise GeometryError(f"unsupported GeoJSON type {kind!r}")

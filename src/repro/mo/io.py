@@ -45,6 +45,14 @@ def read_csv(
         header = [cell.strip().lower() for cell in next(reader)]
     except StopIteration:
         raise TrajectoryError("empty MOFT CSV") from None
+    duplicates = sorted(
+        {column for column in HEADER if header.count(column) > 1}
+    )
+    if duplicates:
+        raise TrajectoryError(
+            f"MOFT CSV header repeats column(s) {duplicates}: {header} — "
+            f"refusing to guess which copy holds the data"
+        )
     try:
         indices = [header.index(column) for column in HEADER]
     except ValueError as exc:

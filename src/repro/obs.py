@@ -30,6 +30,16 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
     and merge wall time rounded to milliseconds (the exact figure is the
     ``merge`` stage timer).
 
+``fault_injected`` / ``task_retries`` / ``task_timeouts`` /
+``backend_degradations``
+    The resilient execution layer (:func:`repro.parallel.backends
+    .resilient_map`): faults fired from a :class:`~repro.faults
+    .FaultPlan`, task attempts re-scheduled, attempts that exceeded the
+    :class:`~repro.parallel.backends.RetryPolicy` timeout, and backend
+    steps down the degradation ladder (``processes`` → ``threads`` →
+    ``serial``).  All zero on the fast path (no plan, no policy,
+    ``failure_mode="raise"``).
+
 ``preagg_hits`` / ``preagg_misses``
     Planner routing through the materialized pre-aggregation layer
     (:mod:`repro.preagg`): a hit means the covered part of the query was
@@ -43,7 +53,8 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
 Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``;
 the sharded executor adds ``shard_fanout`` (dispatch-to-last-result wall
 time), ``shard_scan`` (per-shard work, one call per shard, summed across
-shards) and ``merge``; the pre-aggregation layer adds ``preagg_build``,
+shards), ``merge``, and ``retry_backoff`` (deterministic backoff sleeps
+between retry rounds); the pre-aggregation layer adds ``preagg_build``,
 ``preagg_update`` (store maintenance) and ``preagg_lookup`` (planner
 routing + cell reads).
 """

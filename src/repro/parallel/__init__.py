@@ -4,19 +4,29 @@
 fact table into shard MOFTs; :class:`ShardedExecutor` fans query work out
 over a pluggable backend (``serial`` / ``threads`` / ``processes``) and
 merges exact partial results; :class:`ShardedPietQLExecutor` does the
-same for Piet-QL queries.  See ``docs/API.md`` ("repro.parallel") for
-merge semantics and the differential-oracle harness that verifies every
-optimized path against the serial seed implementation.
+same for Piet-QL queries.  The resilient layer (:class:`RetryPolicy`,
+:func:`resilient_map`, executor ``failure_mode``) adds per-task
+timeouts, bounded deterministic retries and backend degradation with an
+exact-or-error guarantee: results are bit-equal to the serial scan or a
+typed :class:`~repro.errors.ShardExecutionError` is raised.  See
+``docs/API.md`` ("repro.parallel") for merge semantics and the
+differential-oracle harness that verifies every optimized path against
+the serial seed implementation.
 """
 
 from repro.parallel.backends import (
     BACKENDS,
+    DEGRADATION_ORDER,
     ExecutionBackend,
     ProcessBackend,
+    RetryPolicy,
     SerialBackend,
+    TaskFailure,
     ThreadBackend,
     available_cpus,
+    degraded_backend,
     get_backend,
+    resilient_map,
 )
 from repro.parallel.executor import (
     ShardedExecutor,
@@ -32,12 +42,17 @@ from repro.parallel.merge import (
 
 __all__ = [
     "BACKENDS",
+    "DEGRADATION_ORDER",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "RetryPolicy",
+    "TaskFailure",
     "available_cpus",
+    "degraded_backend",
     "get_backend",
+    "resilient_map",
     "ShardedExecutor",
     "ShardedPietQLExecutor",
     "sharded_count_objects_through",

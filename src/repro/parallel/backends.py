@@ -14,18 +14,64 @@ item order.  Three are built in:
 
 :func:`get_backend` resolves a backend from its registry name (or passes
 an instance through), so callers can say ``backend="processes"``.
+
+On top of plain ``map`` sits the *resilient* layer:
+
+* ``run_tasks(fn, items, timeout)`` — per-item guarded execution: every
+  item yields an outcome (value, exception, or timeout) instead of the
+  first worker exception aborting the whole fan-out.  Pool backends
+  enforce the timeout preemptively via futures; the serial backend
+  checks elapsed time after the fact (a single thread cannot preempt
+  itself);
+* :class:`RetryPolicy` — per-task timeout, bounded retry budget, and a
+  deterministic exponential backoff (no jitter: chaos tests must
+  replay);
+* :func:`resilient_map` — the retry/degrade loop used by
+  ``ShardedExecutor`` when a failure mode other than plain ``raise`` (or
+  a :class:`~repro.faults.FaultPlan`) is configured.  It guarantees the
+  *exact-or-error* contract: either every task's value is accounted for,
+  in item order, or a typed :class:`~repro.errors.ShardExecutionError`
+  carrying the failure records and the injected-fault trace is raised.
+  Backend degradation steps down :data:`DEGRADATION_ORDER`
+  (``processes`` → ``threads`` → ``serial``), resetting the retry budget
+  of the tasks that exhausted it at the richer tier.
 """
 
 from __future__ import annotations
 
-import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.errors import EvaluationError
+import os
+
+from repro.errors import EvaluationError, ShardExecutionError
+from repro.obs import PipelineStats
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: One task attempt's outcome: (status, value, error, seconds) where
+#: status is "ok" / "error" / "timeout".
+AttemptOutcome = Tuple[str, Optional[R], Optional[BaseException], float]
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> "AttemptOutcome[R]":
+    """Run one task guarded: capture the exception and the wall time.
+
+    Runs inside the worker (module-level, hence picklable via
+    ``functools.partial`` for the processes backend); the measured
+    seconds are the worker's own wall time, honest across process
+    boundaries.
+    """
+    start = time.perf_counter()
+    try:
+        value = fn(item)
+    except Exception as exc:
+        return ("error", None, exc, time.perf_counter() - start)
+    return ("ok", value, None, time.perf_counter() - start)
 
 
 def available_cpus() -> int:
@@ -45,6 +91,33 @@ class ExecutionBackend:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, returning results in item order."""
         raise NotImplementedError
+
+    def run_tasks(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        timeout: Optional[float] = None,
+    ) -> List["AttemptOutcome[R]"]:
+        """Guarded per-item execution: one outcome per item, in order.
+
+        The default (used by the serial backend) runs items in-process;
+        a single thread cannot preempt itself, so ``timeout`` is checked
+        *after* each item completes — an overdue attempt is reported as
+        a timeout even though its work finished, keeping timeout
+        semantics uniform across backends (the retry loop will redo
+        it).  Pool backends override this with preemptive waits.
+        """
+        outcomes: List[AttemptOutcome[R]] = []
+        for item in items:
+            outcome = _timed_call(fn, item)
+            if (
+                timeout is not None
+                and outcome[0] == "ok"
+                and outcome[3] > timeout
+            ):
+                outcome = ("timeout", None, None, outcome[3])
+            outcomes.append(outcome)
+        return outcomes
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -69,26 +142,69 @@ class _PoolBackend(ExecutionBackend):
             )
         self.max_workers = max_workers
 
+    #: The ``concurrent.futures`` executor class the subclass pools with.
+    _pool_class: "type | None" = None
+
     def _workers_for(self, n_items: int) -> int:
         limit = self.max_workers or available_cpus()
         return max(1, min(limit, n_items))
 
-    def __repr__(self) -> str:
-        return f"{type(self).__name__}(max_workers={self.max_workers})"
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with self._pool_class(
+            max_workers=self._workers_for(len(items))
+        ) as pool:
+            return list(pool.map(fn, items))
+
+    def run_tasks(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        timeout: Optional[float] = None,
+    ) -> List["AttemptOutcome[R]"]:
+        """Guarded pool execution with a preemptive per-task timeout.
+
+        Each item becomes its own future; ``timeout`` bounds the wait on
+        each future from the moment the collector reaches it.  A
+        timed-out future is cancelled and abandoned (its worker may
+        still finish, but the result is discarded — the retry loop owns
+        redoing the task), and the pool is shut down without waiting so
+        a straggler cannot wedge the coordinator.
+        """
+        if not items:
+            return []
+        pool = self._pool_class(max_workers=self._workers_for(len(items)))
+        timed_out = False
+        outcomes: List[AttemptOutcome[R]] = []
+        try:
+            futures = [
+                pool.submit(_timed_call, fn, item) for item in items
+            ]
+            for future in futures:
+                try:
+                    outcomes.append(future.result(timeout=timeout))
+                except FuturesTimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    outcomes.append(
+                        ("timeout", None, None, float(timeout))
+                    )
+                except Exception as exc:
+                    # Pool infrastructure failure (a worker process died,
+                    # a payload failed to pickle, ...) — the task itself
+                    # guards its own exceptions in _timed_call.
+                    outcomes.append(("error", None, exc, 0.0))
+        finally:
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return outcomes
 
 
 class ThreadBackend(_PoolBackend):
     """Fan shards out over a thread pool."""
 
     name = "threads"
-
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        if len(items) <= 1:
-            return [fn(item) for item in items]
-        with ThreadPoolExecutor(
-            max_workers=self._workers_for(len(items))
-        ) as pool:
-            return list(pool.map(fn, items))
+    _pool_class = ThreadPoolExecutor
 
 
 class ProcessBackend(_PoolBackend):
@@ -99,14 +215,7 @@ class ProcessBackend(_PoolBackend):
     """
 
     name = "processes"
-
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        if len(items) <= 1:
-            return [fn(item) for item in items]
-        with ProcessPoolExecutor(
-            max_workers=self._workers_for(len(items))
-        ) as pool:
-            return list(pool.map(fn, items))
+    _pool_class = ProcessPoolExecutor
 
 
 #: Name -> backend class, for ``backend="<name>"`` resolution.
@@ -133,3 +242,270 @@ def get_backend(
     if cls is SerialBackend:
         return cls()
     return cls(max_workers=max_workers)
+
+
+# -- the resilient layer -------------------------------------------------------
+
+#: Backend-degradation ladder: each failure tier steps one name right.
+DEGRADATION_ORDER: Tuple[str, ...] = ("processes", "threads", "serial")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient fan-out treats a failing shard task.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts granted per task *per backend tier* (2 means up
+        to three tries before the task escalates — to degradation under
+        ``failure_mode="degrade"``, to a typed error otherwise).
+    timeout_s:
+        Per-task timeout in seconds (None: no timeout).  Pool backends
+        enforce it preemptively; the serial backend checks after the
+        fact.  Injected latency faults count against it.
+    backoff_s / backoff_multiplier:
+        Deterministic exponential backoff between retry rounds: round
+        ``r`` (1-based) sleeps ``backoff_s * backoff_multiplier**(r-1)``
+        seconds.  No jitter — chaos runs must replay bit-identically.
+        The default 0.0 never sleeps, which is what tests want.
+    sleep:
+        The sleep function backoff uses (injectable so tests can assert
+        backoff without waiting).
+    """
+
+    max_retries: int = 2
+    timeout_s: Optional[float] = None
+    backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise EvaluationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise EvaluationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.backoff_s < 0 or self.backoff_multiplier <= 0:
+            raise EvaluationError(
+                "backoff_s must be >= 0 and backoff_multiplier > 0, got "
+                f"{self.backoff_s} / {self.backoff_multiplier}"
+            )
+
+    def backoff_for(self, round_number: int) -> float:
+        """Seconds to back off before retry round ``round_number`` (1-based)."""
+        return self.backoff_s * (self.backoff_multiplier ** (round_number - 1))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed task attempt, as recorded by :func:`resilient_map`."""
+
+    task_index: int
+    attempt: int
+    status: str  # "error" | "timeout" | "dropped" | "truncated"
+    backend: str
+    error: Optional[BaseException] = None
+    fault: "object | None" = None  # the FaultSpec that caused it, if injected
+
+    def describe(self) -> str:
+        cause = f": {self.error!r}" if self.error is not None else ""
+        injected = " [injected]" if self.fault is not None else ""
+        return (
+            f"task {self.task_index} attempt {self.attempt} "
+            f"{self.status} on {self.backend!r}{injected}{cause}"
+        )
+
+
+def degraded_backend(backend: ExecutionBackend) -> Optional[ExecutionBackend]:
+    """The next backend down the ladder, or None when already at serial.
+
+    Unknown (user-supplied) backends degrade straight to serial: when a
+    custom pool misbehaves, the one dependable fallback is the plain
+    in-process loop.
+    """
+    if isinstance(backend, SerialBackend) or backend.name == "serial":
+        return None
+    try:
+        position = DEGRADATION_ORDER.index(backend.name)
+    except ValueError:
+        return SerialBackend()
+    for name in DEGRADATION_ORDER[position + 1:]:
+        cls = BACKENDS[name]
+        if cls is SerialBackend:
+            return cls()
+        max_workers = getattr(backend, "max_workers", None)
+        return cls(max_workers=max_workers)
+    return None
+
+
+def _shard_error(
+    message: str,
+    failures: List[TaskFailure],
+    plan: "object | None",
+) -> ShardExecutionError:
+    trace = tuple(getattr(plan, "trace", ())) if plan is not None else ()
+    detail = "; ".join(f.describe() for f in failures[-5:])
+    if detail:
+        message = f"{message} ({detail})"
+    return ShardExecutionError(message, failures=failures, faults=trace)
+
+
+def resilient_map(
+    backend: ExecutionBackend,
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    policy: Optional[RetryPolicy] = None,
+    plan: "object | None" = None,
+    obs: Optional[PipelineStats] = None,
+    failure_mode: str = "retry",
+) -> List[R]:
+    """Map ``fn`` over ``items`` with retries, timeouts and degradation.
+
+    The exact-or-error workhorse: returns one value per item, in item
+    order, or raises :class:`~repro.errors.ShardExecutionError` — a
+    partial result can never leak out.  ``plan`` is an optional
+    :class:`~repro.faults.FaultPlan`; scheduled faults are applied to
+    attempt outcomes *in the coordinator* (identical behavior on every
+    backend) and recorded on the plan's trace.
+
+    ``failure_mode``:
+
+    * ``"raise"`` — no tolerance: the first failed attempt raises (still
+      typed, still carrying the fault trace);
+    * ``"retry"`` — each task gets ``policy.max_retries`` extra attempts
+      on the configured backend, then the run raises;
+    * ``"degrade"`` — like retry, but a task that exhausts its budget
+      steps the whole fan-out down :data:`DEGRADATION_ORDER` with a
+      fresh budget; only exhaustion *at serial* raises.
+
+    Observability (all on ``obs``): ``fault_injected``, ``task_retries``,
+    ``task_timeouts``, ``backend_degradations`` counters and the
+    ``retry_backoff`` stage timer.
+    """
+    if failure_mode not in ("raise", "retry", "degrade"):
+        raise EvaluationError(
+            f"unknown failure mode {failure_mode!r}; "
+            f"expected 'raise', 'retry' or 'degrade'"
+        )
+    policy = policy if policy is not None else RetryPolicy()
+    obs = obs if obs is not None else PipelineStats()
+    n = len(items)
+    results: dict = {}
+    attempts = [0] * n        # global attempt number per task (keys the plan)
+    tier_failures = [0] * n   # failures within the current backend tier
+    failures: List[TaskFailure] = []
+    current = backend
+    pending = list(range(n))
+    retry_round = 0
+    while pending:
+        outcomes = current.run_tasks(
+            fn, [items[i] for i in pending], timeout=policy.timeout_s
+        )
+        if len(outcomes) != len(pending):
+            # A backend returning the wrong number of outcomes is a
+            # broken backend; treat the tail as dropped tasks.
+            outcomes = list(outcomes) + [
+                ("dropped", None, None, 0.0)
+            ] * (len(pending) - len(outcomes))
+        retry_next: List[int] = []
+        exhausted: List[int] = []
+        for i, outcome in zip(pending, outcomes):
+            status, value, error, seconds = outcome
+            attempt = attempts[i]
+            fault = (
+                plan.fault_for(i, attempt) if plan is not None else None
+            )
+            if fault is not None:
+                from repro.faults import FaultInjected
+
+                plan.record(fault)
+                obs.incr("fault_injected")
+                if fault.kind == "raise":
+                    status, value, error = (
+                        "error",
+                        None,
+                        FaultInjected(
+                            f"injected fault: {fault.describe()}"
+                        ),
+                    )
+                elif fault.kind == "drop":
+                    status, value = "dropped", None
+                elif fault.kind == "truncate":
+                    # The envelope fails its integrity check: a worker
+                    # died mid-serialization.  The (corrupt) value must
+                    # never reach the merge.
+                    status, value = "truncated", None
+                elif fault.kind == "latency":
+                    seconds += fault.latency_s
+            if (
+                status == "ok"
+                and policy.timeout_s is not None
+                and seconds > policy.timeout_s
+            ):
+                status, value = "timeout", None
+            if status == "ok":
+                results[i] = value
+                continue
+            if status == "timeout":
+                obs.incr("task_timeouts")
+            attempts[i] += 1
+            tier_failures[i] += 1
+            failures.append(TaskFailure(
+                task_index=i,
+                attempt=attempt,
+                status=status,
+                backend=current.name,
+                error=error,
+                fault=fault,
+            ))
+            if failure_mode == "raise":
+                raise _shard_error(
+                    f"shard task {i} failed ({status}) and "
+                    f"failure_mode='raise' grants no retries",
+                    failures, plan,
+                )
+            if tier_failures[i] > policy.max_retries:
+                exhausted.append(i)
+            else:
+                retry_next.append(i)
+        if exhausted:
+            if failure_mode == "degrade":
+                degraded = degraded_backend(current)
+                if degraded is None:
+                    raise _shard_error(
+                        f"{len(exhausted)} shard task(s) exhausted "
+                        f"{policy.max_retries} retries on the 'serial' "
+                        f"backend; nothing left to degrade to",
+                        failures, plan,
+                    )
+                obs.incr("backend_degradations")
+                current = degraded
+                for i in exhausted:
+                    tier_failures[i] = 0
+                retry_next.extend(exhausted)
+            else:
+                raise _shard_error(
+                    f"{len(exhausted)} shard task(s) failed past "
+                    f"max_retries={policy.max_retries}",
+                    failures, plan,
+                )
+        if retry_next:
+            retry_round += 1
+            obs.incr("task_retries", len(retry_next))
+            delay = policy.backoff_for(retry_round)
+            with obs.stage("retry_backoff"):
+                if delay > 0:
+                    policy.sleep(delay)
+        pending = sorted(retry_next)
+    if len(results) != n:
+        missing = sorted(set(range(n)) - set(results))
+        raise _shard_error(
+            f"result-completeness check failed: shard task(s) {missing} "
+            f"unaccounted for before merge",
+            failures, plan,
+        )
+    return [results[i] for i in range(n)]

@@ -21,6 +21,18 @@ asserts result equality.  Semantics note: trajectory queries must shard
 by *objects* — ``partition_by_time`` cuts trajectories at shard
 boundaries and loses the interpolated segments that cross a cut.
 
+Failure semantics (the resilient layer): the executor's
+``failure_mode`` (``raise`` / ``retry`` / ``degrade``) plus an optional
+:class:`~repro.parallel.backends.RetryPolicy` govern what a stalling,
+dying or corrupt shard task does to the run — bounded deterministic
+retries, per-task timeouts, and backend degradation ``processes`` →
+``threads`` → ``serial``.  Every fan-out verifies result completeness
+before merging: the engine either returns an answer bit-equal to the
+serial scan or raises a typed
+:class:`~repro.errors.ShardExecutionError`; a partial merge is
+impossible.  ``tests/faults`` enforces this under seeded
+:class:`~repro.faults.FaultPlan` chaos.
+
 Worker task functions live at module level and their payloads are
 picklable, as the ``processes`` backend requires.
 """
@@ -40,13 +52,15 @@ from typing import (
     TypeVar,
 )
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, ShardExecutionError
 from repro.mo.moft import MOFT
 from repro.obs import EvaluationStats, PipelineStats
 from repro.parallel.backends import (
     ExecutionBackend,
+    RetryPolicy,
     available_cpus,
     get_backend,
+    resilient_map,
 )
 from repro.parallel.merge import intersect_ids, sum_groups, union_ids
 from repro.pietql import ast as pietql_ast
@@ -130,6 +144,24 @@ class ShardedExecutor:
         :class:`~repro.obs.PipelineStats` when omitted.  Pass
         ``context.obs`` to fold shard metrics into a context's pipeline
         report.
+    failure_mode:
+        What a failing shard task does to the run: ``"raise"`` (the
+        default — fail fast with a typed
+        :class:`~repro.errors.ShardExecutionError`), ``"retry"``
+        (bounded retries per :class:`RetryPolicy`, then the typed
+        error), or ``"degrade"`` (retries, then step the backend down
+        ``processes`` → ``threads`` → ``serial`` before giving up).
+        Whatever the mode, the answer contract is *exact-or-error*: a
+        merged result always accounts for every shard.
+    retry_policy:
+        Timeout/retry/backoff knobs for the resilient modes (default:
+        :class:`RetryPolicy()` — 2 retries, no timeout, no backoff).
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` injecting deterministic
+        faults into shard attempts (testing only).  Setting a plan
+        routes execution through the resilient path even under
+        ``failure_mode="raise"`` so injected faults surface as typed
+        errors carrying the trace.
     """
 
     def __init__(
@@ -138,6 +170,9 @@ class ShardedExecutor:
         n_shards: Optional[int] = None,
         max_workers: Optional[int] = None,
         obs: Optional[PipelineStats] = None,
+        failure_mode: str = "raise",
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[object] = None,
     ) -> None:
         self.backend = get_backend(backend, max_workers)
         self.n_shards = n_shards if n_shards is not None else available_cpus()
@@ -145,15 +180,32 @@ class ShardedExecutor:
             raise EvaluationError(
                 f"shard count must be >= 1, got {self.n_shards}"
             )
+        if failure_mode not in ("raise", "retry", "degrade"):
+            raise EvaluationError(
+                f"unknown failure mode {failure_mode!r}; "
+                f"expected 'raise', 'retry' or 'degrade'"
+            )
         self.obs = obs if obs is not None else PipelineStats()
+        self.failure_mode = failure_mode
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
 
     def __repr__(self) -> str:
         return (
             f"ShardedExecutor(backend={self.backend.name!r}, "
-            f"n_shards={self.n_shards})"
+            f"n_shards={self.n_shards}, "
+            f"failure_mode={self.failure_mode!r})"
         )
 
     # -- the generic fan-out/merge step ---------------------------------------
+
+    def _resilient(self) -> bool:
+        """Whether fan-outs route through the retry/fault-injection path."""
+        return (
+            self.failure_mode != "raise"
+            or self.retry_policy is not None
+            or self.fault_plan is not None
+        )
 
     def map_shards(
         self,
@@ -168,6 +220,15 @@ class ShardedExecutor:
         :data:`ShardOutcome` triple; per-shard wall times land in the
         ``shard_scan`` stage and any worker stats are folded into the
         executor's observer (plus ``observers``).
+
+        Every shard is verified accounted for before the merge runs: a
+        dropped or failed shard raises
+        :class:`~repro.errors.ShardExecutionError` (possibly after the
+        configured retries/degradation) — it can never silently
+        under-count.  With the default ``failure_mode="raise"``, no
+        retry policy and no fault plan, the fan-out is the plain
+        ``backend.map`` call of the seed path: zero added per-task
+        overhead.
         """
         targets = [self.obs] + [
             extra for extra in observers if extra is not self.obs
@@ -175,7 +236,32 @@ class ShardedExecutor:
         for observer in targets:
             observer.incr("shard_count", len(payloads))
         with self.obs.stage("shard_fanout"):
-            outcomes = self.backend.map(fn, payloads)
+            if self._resilient():
+                outcomes = resilient_map(
+                    self.backend,
+                    fn,
+                    payloads,
+                    policy=self.retry_policy,
+                    plan=self.fault_plan,
+                    obs=self.obs,
+                    failure_mode=self.failure_mode,
+                )
+            else:
+                try:
+                    outcomes = self.backend.map(fn, payloads)
+                except ShardExecutionError:
+                    raise
+                except Exception as exc:
+                    raise ShardExecutionError(
+                        f"shard fan-out failed on backend "
+                        f"{self.backend.name!r}: {exc!r}"
+                    ) from exc
+        if len(outcomes) != len(payloads):
+            raise ShardExecutionError(
+                f"result-completeness check failed: backend "
+                f"{self.backend.name!r} returned {len(outcomes)} "
+                f"outcomes for {len(payloads)} shards"
+            )
         values: List[M] = []
         for value, seconds, stats in outcomes:
             for observer in targets:
@@ -354,6 +440,9 @@ class ShardedPietQLExecutor(PietQLExecutor):
         backend: "str | ExecutionBackend" = "serial",
         n_shards: Optional[int] = None,
         max_workers: Optional[int] = None,
+        failure_mode: str = "raise",
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[object] = None,
     ) -> None:
         super().__init__(context, bindings)
         self.sharded = sharded or ShardedExecutor(
@@ -361,6 +450,9 @@ class ShardedPietQLExecutor(PietQLExecutor):
             n_shards=n_shards,
             max_workers=max_workers,
             obs=context.obs,
+            failure_mode=failure_mode,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
         )
 
     def _execute_geometric(

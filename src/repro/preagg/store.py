@@ -777,9 +777,25 @@ class PreAggStore:
         shard's oid codes into the merged store.  ``snapshot`` is the
         parent MOFT's ``(version, rows)`` taken before partitioning, so
         the merged store's staleness tracks the parent table.
+
+        When ``snapshot`` is given the merge also verifies *row
+        coverage*: the shard stores' built rows must add up to the
+        snapshot's row count.  A truncated shard store — one built from
+        a corrupt or partially-delivered shard, e.g. after a faulty
+        retry — would otherwise fold silently into an under-counting
+        store, breaking the Definition 4 summability contract (the sum
+        over shards must be the sum over the whole table).
         """
         if not stores:
             raise PreAggError("cannot merge zero pre-aggregation stores")
+        if snapshot is not None:
+            covered = sum(store._built_rows for store in stores)
+            if covered != snapshot[1]:
+                raise PreAggError(
+                    f"shard stores cover {covered} rows but the parent "
+                    f"MOFT snapshot has {snapshot[1]}; a shard is missing "
+                    f"or truncated — refusing an under-counting merge"
+                )
         head = stores[0]
         for other in stores[1:]:
             if (

@@ -1,0 +1,1 @@
+"""Chaos / fault-injection suite for the resilient sharded engine."""

@@ -1,0 +1,50 @@
+"""Shared fixtures for the chaos / fault-injection suite.
+
+The worlds are the exact two the differential suite uses (the paper's
+Figure 1 instance and the 10k-sample synthetic city), re-exported from
+the parallel suite's conftest so both suites exercise the same bits; on
+top of them sit session-scoped *serial reference answers* computed once,
+so every chaos example compares against the seed path without re-running
+it per example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gis import NODE, POLYGON, POLYLINE
+from repro.query.evaluator import count_objects_through
+
+from tests.parallel.conftest import (  # noqa: F401  (re-exported fixtures)
+    FIG1_BINDINGS,
+    SYNTH_BINDINGS,
+    fig1,
+    fig1_context,
+    synth_world,
+)
+
+FIG1_TARGET = ("Ln", POLYGON)
+FIG1_CONSTRAINTS = [
+    ("intersects", ("Lr", POLYLINE)),
+    ("contains", ("Ls", NODE)),
+]
+SYNTH_TARGET = ("Ln", POLYGON)
+SYNTH_CONSTRAINTS = [("intersects", ("Lr", POLYLINE))]
+
+
+@pytest.fixture(scope="session")
+def fig1_count_ref(fig1_context) -> int:
+    """Serial reference for the Figure 1 running-example count (= 5)."""
+    value = count_objects_through(
+        fig1_context, FIG1_TARGET, FIG1_CONSTRAINTS, moft_name="FMbus"
+    )
+    assert value == 5  # Remark 1 of the paper
+    return value
+
+
+@pytest.fixture(scope="session")
+def synth_count_ref(synth_world) -> int:
+    """Serial reference count over the 10k-sample synthetic city."""
+    return count_objects_through(
+        synth_world.context, SYNTH_TARGET, SYNTH_CONSTRAINTS
+    )

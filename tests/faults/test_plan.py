@@ -1,0 +1,137 @@
+"""Unit tests for the fault-plan vocabulary (``repro.faults``).
+
+A plan is a *deterministic schedule*: equal seeds must give equal plans
+byte for byte, duplicate (task, attempt) keys are rejected up front, and
+the firing trace records exactly what fired in order.  Everything here
+is pure data-structure behavior — no engine involved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FAULT_KINDS, FaultInjected, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultSpec:
+    def test_kinds_vocabulary(self):
+        assert FAULT_KINDS == ("raise", "latency", "drop", "truncate")
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_valid_kinds(self, kind):
+        spec = FaultSpec(kind, task_index=2, attempt=1)
+        assert spec.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultSpec("segfault", task_index=0)
+
+    @pytest.mark.parametrize(
+        "task_index, attempt", [(-1, 0), (0, -1), (-3, -3)]
+    )
+    def test_negative_coordinates_rejected(self, task_index, attempt):
+        with pytest.raises(ReproError, match="must be >= 0"):
+            FaultSpec("raise", task_index=task_index, attempt=attempt)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ReproError, match="latency_s"):
+            FaultSpec("latency", task_index=0, latency_s=-0.5)
+
+    def test_describe(self):
+        assert FaultSpec("drop", 3, 1).describe() == "drop(task=3, attempt=1)"
+        assert (
+            FaultSpec("latency", 0, 0, latency_s=2.5).describe()
+            == "latency(task=0, attempt=0, latency_s=2.5)"
+        )
+
+    def test_fault_injected_is_typed(self):
+        assert issubclass(FaultInjected, ReproError)
+
+
+class TestFaultPlan:
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ReproError, match="duplicate fault"):
+            FaultPlan([FaultSpec("raise", 0, 0), FaultSpec("drop", 0, 0)])
+
+    def test_len_bool_iter(self):
+        plan = FaultPlan([FaultSpec("drop", 1, 0), FaultSpec("raise", 0, 0)])
+        assert len(plan) == 2
+        assert bool(plan)
+        # Iteration is (task, attempt)-sorted regardless of insert order.
+        assert [(f.task_index, f.attempt) for f in plan] == [(0, 0), (1, 0)]
+
+    def test_empty_plan_is_falsy_but_a_plan(self):
+        plan = FaultPlan.none()
+        assert not plan
+        assert len(plan) == 0
+        assert plan.fault_for(0, 0) is None
+
+    def test_fault_for_hit_and_miss(self):
+        plan = FaultPlan.single("truncate", task_index=2, attempt=1)
+        hit = plan.fault_for(2, 1)
+        assert hit is not None and hit.kind == "truncate"
+        assert plan.fault_for(2, 0) is None
+        assert plan.fault_for(0, 1) is None
+
+    def test_trace_records_in_firing_order(self):
+        plan = FaultPlan([FaultSpec("raise", 0, 0), FaultSpec("drop", 1, 0)])
+        assert plan.trace == ()
+        plan.record(plan.fault_for(1, 0))
+        plan.record(plan.fault_for(0, 0))
+        assert [f.kind for f in plan.trace] == ["drop", "raise"]
+        plan.reset_trace()
+        assert plan.trace == ()
+        assert len(plan) == 2  # the schedule survives a trace reset
+
+    def test_always_covers_every_attempt(self):
+        plan = FaultPlan.always("drop", n_tasks=3, max_attempts=4)
+        assert len(plan) == 12
+        assert all(
+            plan.fault_for(t, a) is not None
+            for t in range(3)
+            for a in range(4)
+        )
+
+
+class TestRandomPlans:
+    def test_equal_seeds_give_equal_plans(self):
+        a = FaultPlan.random(1234, n_tasks=6, rate=0.5, max_attempts=3)
+        b = FaultPlan.random(1234, n_tasks=6, rate=0.5, max_attempts=3)
+        assert [f.describe() for f in a] == [f.describe() for f in b]
+        assert [f.latency_s for f in a] == [f.latency_s for f in b]
+
+    def test_different_seeds_differ(self):
+        draws = {
+            tuple(f.describe() for f in FaultPlan.random(s, 8, rate=0.5))
+            for s in range(10)
+        }
+        assert len(draws) > 1
+
+    def test_rate_zero_is_empty(self):
+        assert not FaultPlan.random(7, n_tasks=10, rate=0.0)
+
+    def test_rate_one_is_total(self):
+        plan = FaultPlan.random(7, n_tasks=4, rate=1.0, max_attempts=2)
+        assert len(plan) == 8
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_out_of_range_rejected(self, rate):
+        with pytest.raises(ReproError, match="rate"):
+            FaultPlan.random(1, n_tasks=2, rate=rate)
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ReproError, match="at least one kind"):
+            FaultPlan.random(1, n_tasks=2, kinds=())
+
+    def test_kinds_restriction_respected(self):
+        plan = FaultPlan.random(3, n_tasks=20, rate=1.0, kinds=("drop",))
+        assert plan and all(f.kind == "drop" for f in plan)
+
+    def test_latency_bounded(self):
+        plan = FaultPlan.random(
+            5, n_tasks=30, rate=1.0, kinds=("latency",), latency_s=2.0
+        )
+        assert plan and all(0.0 <= f.latency_s <= 2.0 for f in plan)

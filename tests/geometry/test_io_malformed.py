@@ -1,0 +1,108 @@
+"""Malformed-input tests for geometry interchange (WKT / GeoJSON).
+
+The parsers must reject bad input with a typed
+:class:`~repro.errors.GeometryError`; raw ``ValueError`` /
+``TypeError`` / ``IndexError`` from ``float()`` calls, tuple unpacking
+or list indexing must never escape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.io import from_geojson, from_wkt
+
+
+class TestMalformedWkt:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "CIRCLE (1 2)",
+            "POINT 1 2",
+            "not wkt at all",
+        ],
+        ids=["empty", "unknown-kind", "missing-parens", "garbage"],
+    )
+    def test_unparseable_shapes(self, text):
+        with pytest.raises(GeometryError, match="unparseable WKT"):
+            from_wkt(text)
+
+    def test_non_numeric_point_coordinate(self):
+        with pytest.raises(GeometryError, match="non-numeric"):
+            from_wkt("POINT (a b)")
+
+    def test_non_numeric_linestring_coordinate(self):
+        with pytest.raises(GeometryError, match="non-numeric"):
+            from_wkt("LINESTRING (0 0, x 1)")
+
+    def test_point_with_two_pairs(self):
+        with pytest.raises(GeometryError, match="exactly one"):
+            from_wkt("POINT (1 2, 3 4)")
+
+    def test_coordinate_pair_with_three_parts(self):
+        with pytest.raises(GeometryError, match="coordinate pair"):
+            from_wkt("LINESTRING (0 0 0, 1 1 1)")
+
+    def test_polygon_without_rings(self):
+        with pytest.raises(GeometryError, match="without rings"):
+            from_wkt("POLYGON (1 2)")
+
+
+class TestMalformedGeoJson:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {},
+            {"type": "Point"},
+            {"coordinates": [1, 2]},
+            None,
+            "a string",
+        ],
+        ids=["empty", "no-coords", "no-type", "none", "string"],
+    )
+    def test_missing_structure(self, data):
+        with pytest.raises(GeometryError, match="malformed GeoJSON"):
+            from_geojson(data)
+
+    def test_unsupported_type(self):
+        with pytest.raises(GeometryError, match="unsupported"):
+            from_geojson({"type": "MultiPolygon", "coordinates": []})
+
+    def test_point_with_non_numeric_coordinate(self):
+        with pytest.raises(GeometryError, match="malformed GeoJSON Point"):
+            from_geojson({"type": "Point", "coordinates": ["a", 2]})
+
+    def test_point_with_too_few_coordinates(self):
+        with pytest.raises(GeometryError, match="malformed GeoJSON Point"):
+            from_geojson({"type": "Point", "coordinates": [1.0]})
+
+    def test_linestring_with_ragged_pairs(self):
+        with pytest.raises(
+            GeometryError, match="malformed GeoJSON LineString"
+        ):
+            from_geojson(
+                {"type": "LineString", "coordinates": [[0, 0], [1]]}
+            )
+
+    def test_linestring_with_non_numeric(self):
+        with pytest.raises(
+            GeometryError, match="malformed GeoJSON LineString"
+        ):
+            from_geojson(
+                {"type": "LineString", "coordinates": [[0, 0], ["x", 1]]}
+            )
+
+    def test_polygon_without_rings(self):
+        with pytest.raises(GeometryError, match="without rings"):
+            from_geojson({"type": "Polygon", "coordinates": []})
+
+    def test_polygon_with_non_numeric_ring(self):
+        with pytest.raises(GeometryError, match="malformed GeoJSON Polygon"):
+            from_geojson(
+                {
+                    "type": "Polygon",
+                    "coordinates": [[[0, 0], [1, 0], ["?", 1]]],
+                }
+            )

@@ -1,0 +1,62 @@
+"""Malformed-input tests for MOFT CSV reading.
+
+Every bad input must surface as a typed
+:class:`~repro.errors.TrajectoryError` — never a raw ``ValueError`` /
+``IndexError`` leaking from the parsing internals — so callers (the CLI
+among them) can catch one exception type at the boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, TrajectoryError
+from repro.mo.io import from_csv_text, read_csv
+
+
+class TestMalformedMoftCsv:
+    def test_empty_file(self):
+        with pytest.raises(TrajectoryError, match="empty"):
+            from_csv_text("")
+
+    def test_header_only_is_an_empty_moft(self):
+        moft = from_csv_text("oid,t,x,y\n")
+        assert len(moft) == 0
+
+    def test_truncated_row(self):
+        with pytest.raises(TrajectoryError, match="row 2"):
+            from_csv_text("oid,t,x,y\nO1,0\n")
+
+    def test_truncated_row_reports_its_line_number(self):
+        with pytest.raises(TrajectoryError, match="row 3"):
+            from_csv_text("oid,t,x,y\nO1,0,1,2\nO2,5\n")
+
+    @pytest.mark.parametrize("column", ["t", "x", "y"])
+    def test_non_numeric_coordinate(self, column):
+        values = {"t": "0", "x": "1", "y": "2", column: "garbage"}
+        row = ",".join(["O1", values["t"], values["x"], values["y"]])
+        with pytest.raises(TrajectoryError, match="malformed"):
+            from_csv_text(f"oid,t,x,y\n{row}\n")
+
+    def test_duplicate_header_column(self):
+        with pytest.raises(TrajectoryError, match="repeats"):
+            from_csv_text("oid,t,x,x,y\nO1,0,1,2,3\n")
+
+    def test_duplicate_header_names_the_offender(self):
+        with pytest.raises(TrajectoryError, match=r"\['t'\]"):
+            from_csv_text("oid,t,t,x,y\nO1,0,0,1,2\n")
+
+    def test_missing_required_column(self):
+        with pytest.raises(TrajectoryError, match="must have columns"):
+            from_csv_text("oid,t,x\nO1,0,1\n")
+
+    def test_blank_lines_are_skipped_not_errors(self):
+        moft = from_csv_text("oid,t,x,y\n\nO1,0,1,2\n  , , ,\n")
+        assert len(moft) == 1
+
+    def test_missing_file_is_oserror_not_crash(self, tmp_path):
+        with pytest.raises(OSError):
+            read_csv(tmp_path / "missing.csv")
+
+    def test_errors_are_typed(self):
+        assert issubclass(TrajectoryError, ReproError)

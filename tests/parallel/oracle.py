@@ -79,15 +79,29 @@ class OracleReport:
             )
 
 
+def sorted_ids(ids: Optional[object]) -> Optional[Tuple[object, ...]]:
+    """Normalize an id collection to a sorted tuple (``None`` passes through).
+
+    Both sides of every comparison go through this, so a backend that
+    happens to yield objects in shard order compares equal to the serial
+    path's scan order — the *set* of ids is the semantics, not the
+    iteration order.  Sorting is by ``repr`` so mixed-type id vocabularies
+    (ints vs strings) stay comparable.
+    """
+    if ids is None:
+        return None
+    return tuple(sorted(ids, key=repr))
+
+
 def pietql_fingerprint(result: PietQLResult) -> Tuple[object, ...]:
     """A comparable, order-insensitive projection of a query result."""
     olap: Optional[Tuple[Tuple[object, float], ...]] = None
     if result.olap_result is not None:
         olap = tuple(sorted(result.olap_result.items(), key=repr))
     return (
-        frozenset(result.geometry_ids),
+        sorted_ids(result.geometry_ids),
         result.count,
-        result.matched_objects,
+        sorted_ids(result.matched_objects),
         olap,
     )
 

@@ -1,0 +1,103 @@
+"""End-to-end tests of the ``python -m repro`` command line.
+
+Run as real subprocesses (the module is its own program; its exit codes
+and stderr discipline are the interface under test): ``--help`` and the
+demo exit 0, bad input exits 2 with a single ``error: ...`` line on
+stderr and never a traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def run_cli(*args: str, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+class TestHelp:
+    def test_help_exits_zero(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        assert "demo" in result.stdout and "info" in result.stdout
+
+    def test_unknown_command_exits_nonzero(self):
+        result = run_cli("frobnicate")
+        assert result.returncode != 0
+        assert "Traceback" not in result.stderr
+
+
+class TestDemo:
+    def test_default_invocation_runs_the_quickstart(self):
+        result = run_cli()
+        assert result.returncode == 0
+        assert "Remark 1: 4/3" in result.stdout
+        assert "1.3333" in result.stdout
+        assert result.stderr == ""
+
+    def test_explicit_demo_subcommand(self):
+        result = run_cli("demo")
+        assert result.returncode == 0
+        assert "Remark 1: 4/3" in result.stdout
+
+
+class TestInfo:
+    def test_summarizes_a_valid_moft_csv(self, tmp_path):
+        csv = tmp_path / "moft.csv"
+        csv.write_text(
+            "oid,t,x,y\nO1,0,1.0,2.0\nO1,1,2.0,3.0\nO2,0,5.0,5.0\n"
+        )
+        result = run_cli("info", str(csv))
+        assert result.returncode == 0
+        assert "rows:    3" in result.stdout
+        assert "objects: 2" in result.stdout
+
+    def test_nonexistent_path_exits_2_with_clean_error(self, tmp_path):
+        result = run_cli("info", str(tmp_path / "nope.csv"))
+        assert result.returncode == 2
+        assert result.stderr.startswith("error: ")
+        assert "Traceback" not in result.stderr
+        assert result.stdout == ""
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",  # empty file
+            "oid,t,x,y\nO1,0,abc,2\n",  # non-numeric coordinate
+            "oid,t,x,y\nO1,0\n",  # truncated row
+            "oid,t,x,x,y\nO1,0,1,2,3\n",  # duplicate header column
+            "a,b,c\n1,2,3\n",  # wrong columns entirely
+        ],
+        ids=[
+            "empty",
+            "non-numeric",
+            "truncated-row",
+            "duplicate-header",
+            "wrong-columns",
+        ],
+    )
+    def test_malformed_csv_exits_2_with_clean_error(self, tmp_path, content):
+        csv = tmp_path / "bad.csv"
+        csv.write_text(content)
+        result = run_cli("info", str(csv))
+        assert result.returncode == 2
+        assert result.stderr.startswith("error: ")
+        assert "Traceback" not in result.stderr

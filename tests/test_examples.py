@@ -67,9 +67,12 @@ def test_commuter_flows(capsys):
     assert "Aggregated trajectory" in out
 
 
-def test_module_entry_point(capsys):
+def test_module_entry_point(capsys, monkeypatch):
     """``python -m repro`` renders Figure 1 and the Remark 1 answer."""
-    runpy.run_module("repro", run_name="__main__")
+    monkeypatch.setattr(sys, "argv", ["repro"])
+    with pytest.raises(SystemExit) as excinfo:
+        runpy.run_module("repro", run_name="__main__")
+    assert excinfo.value.code == 0
     out = capsys.readouterr().out
     assert "1.3333" in out
     assert "#" in out  # the shaded low-income region

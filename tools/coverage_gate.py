@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Dependency-free line-coverage measurement and gate for ``src/repro``.
+
+CI measures coverage with ``pytest-cov`` (see ``.github/workflows/
+ci.yml``), but the local toolchain deliberately has no coverage
+dependency — this script fills the gap with a ``sys.settrace`` tracer so
+the floor can be measured and checked anywhere:
+
+* the universe of executable lines comes from compiling every module
+  under ``src/repro`` and walking its code objects (``co_lines``);
+* the tracer only pays line-event cost inside ``repro`` frames (every
+  other frame opts out at its call event), and is installed via
+  ``threading.settrace`` too so thread-backend workers are counted;
+* worker *processes* are not traced — the measured figure is therefore a
+  slight undercount, which is the safe direction for a floor.
+
+Usage::
+
+    python tools/coverage_gate.py                  # measure, print report
+    python tools/coverage_gate.py --check 85.0     # exit 1 below the floor
+    python tools/coverage_gate.py -- -m "not slow" # extra pytest args
+
+The gate value used by CI lives in the workflow file; keep the two in
+sync when the floor moves (measure here, set ``--cov-fail-under``
+there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+from types import CodeType
+from typing import Dict, Set
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+PKG = SRC / "repro"
+
+
+def executable_lines() -> Dict[str, Set[int]]:
+    """filename -> set of executable line numbers, for every repro module."""
+    universe: Dict[str, Set[int]] = {}
+    for path in sorted(PKG.rglob("*.py")):
+        code = compile(path.read_text(), str(path), "exec")
+        lines: Set[int] = set()
+        stack = [code]
+        while stack:
+            obj = stack.pop()
+            for _start, _end, line in obj.co_lines():
+                if line is not None:
+                    lines.add(line)
+            for const in obj.co_consts:
+                if isinstance(const, CodeType):
+                    stack.append(const)
+        universe[str(path)] = lines
+    return universe
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if total coverage is below this percentage",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        default=[],
+        help="extra arguments passed to pytest (prefix with --)",
+    )
+    args = parser.parse_args(argv)
+
+    universe = executable_lines()
+    hits: Dict[str, Set[int]] = {name: set() for name in universe}
+    prefix = str(PKG)
+
+    def tracer(frame, event, arg):
+        if not frame.f_code.co_filename.startswith(prefix):
+            return None  # opt this frame out of line events entirely
+        if event == "line":
+            file_hits = hits.get(frame.f_code.co_filename)
+            if file_hits is not None:
+                file_hits.add(frame.f_lineno)
+        return tracer
+
+    sys.path.insert(0, str(SRC))
+    import pytest
+
+    pytest_args = list(args.pytest_args) or ["-q", "-m", "not slow"]
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"coverage gate: test run failed (pytest exit {exit_code})")
+        return int(exit_code) or 1
+
+    total = sum(len(lines) for lines in universe.values())
+    covered = sum(
+        len(hits[name] & lines) for name, lines in universe.items()
+    )
+    percent = 100.0 * covered / total if total else 100.0
+    print()
+    print("coverage of src/repro (settrace measurement, worst files first):")
+    per_file = sorted(
+        (
+            (
+                100.0 * len(hits[name] & lines) / len(lines)
+                if lines
+                else 100.0,
+                name,
+            )
+            for name, lines in universe.items()
+        ),
+    )
+    for file_percent, name in per_file[:10]:
+        rel = Path(name).relative_to(REPO)
+        print(f"  {file_percent:6.1f}%  {rel}")
+    print(f"TOTAL: {covered}/{total} lines = {percent:.1f}%")
+    if args.check is not None and percent < args.check:
+        print(f"coverage gate FAILED: {percent:.1f}% < floor {args.check}%")
+        return 1
+    if args.check is not None:
+        print(f"coverage gate ok: {percent:.1f}% >= floor {args.check}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
