@@ -1,6 +1,11 @@
 """Moving objects: the MOFT, trajectories and trajectory operations."""
 
-from repro.mo.moft import MOFT
+from repro.mo.moft import (
+    MOFT,
+    instants_member_mask,
+    is_member_instant,
+    sorted_instants,
+)
 from repro.mo.trajectory import (
     FunctionalTrajectory,
     LinearInterpolationTrajectory,
@@ -59,6 +64,9 @@ __all__ = [
     "to_csv_text",
     "write_csv",
     "MOFT",
+    "instants_member_mask",
+    "is_member_instant",
+    "sorted_instants",
     "FunctionalTrajectory",
     "LinearInterpolationTrajectory",
     "Trajectory",

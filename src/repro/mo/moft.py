@@ -47,6 +47,55 @@ from repro.errors import TrajectoryError
 from repro.geometry.point import BoundingBox, Point
 from repro.mo.trajectory import TrajectorySample
 
+#: Instant-membership tolerance in ulps.  Instants that reach a query
+#: through interpolation or granule arithmetic can drift a few ulps from
+#: the registered member they mean; registered instants themselves are
+#: separated by whole time units, many orders of magnitude wider.
+INSTANT_MATCH_ULPS = 4.0
+
+
+def sorted_instants(instants: Iterable[float]) -> np.ndarray:
+    """Canonicalize an instant collection to a sorted float array.
+
+    The canonical representation behind every instant-membership test:
+    :meth:`MOFT.restrict_instants` and the optimizer's
+    :class:`~repro.query.optimizer.FilteredMoft` both build this array
+    and test against it with :func:`instants_member_mask`, so a query
+    cannot accept an instant in one place and reject it in the other.
+    """
+    return np.array(sorted(float(t) for t in set(instants)), dtype=float)
+
+
+def instants_member_mask(t: np.ndarray, wanted: np.ndarray) -> np.ndarray:
+    """Which of ``t`` match some instant of the sorted array ``wanted``.
+
+    Membership is ulp-tolerant: an instant matches when it lies within
+    ``INSTANT_MATCH_ULPS`` units in the last place of its nearest
+    neighbor in ``wanted``.  Exact float set membership is wrong here —
+    instants arriving from interpolation or granule arithmetic can
+    differ from the registered member by 1 ulp, and a strict ``==``
+    silently drops those rows.  The tolerance is a few ulps, far below
+    the spacing of distinct registered instants, so no two members are
+    ever conflated.
+    """
+    t = np.asarray(t, dtype=float)
+    if wanted.size == 0:
+        return np.zeros(t.shape, dtype=bool)
+    slots = np.searchsorted(wanted, t)
+    below = np.clip(slots - 1, 0, wanted.size - 1)
+    above = np.minimum(slots, wanted.size - 1)
+    # np.spacing(x) is one ulp at |x|; the max(|t|, 1) floor keeps the
+    # tolerance meaningful for instants at or around zero.
+    tolerance = INSTANT_MATCH_ULPS * np.spacing(np.maximum(np.abs(t), 1.0))
+    return (np.abs(t - wanted[below]) <= tolerance) | (
+        np.abs(t - wanted[above]) <= tolerance
+    )
+
+
+def is_member_instant(t: float, wanted: np.ndarray) -> bool:
+    """Scalar form of :func:`instants_member_mask` (same tolerance)."""
+    return bool(instants_member_mask(np.array([float(t)]), wanted)[0])
+
 
 class MOFT:
     """An in-memory columnar moving-object fact table."""
@@ -420,19 +469,13 @@ class MOFT:
 
         This is the paper's ``FM_morning`` construction: the sub-fact-table
         of samples taken at instants rolling up to a temporal member.
+        Membership is the shared ulp-tolerant sorted-array test
+        (:func:`instants_member_mask`), so instants that drifted a few
+        ulps through interpolation or granule arithmetic still match.
         """
-        wanted = np.array(sorted(float(t) for t in set(instants)), dtype=float)
+        wanted = sorted_instants(instants)
         t, _, _ = self.as_arrays()
-        if wanted.size == 0:
-            mask = np.zeros(t.shape, dtype=bool)
-        else:
-            # Sorted-membership test: cheaper than np.isin for the small
-            # instant sets temporal rollups produce.
-            slots = np.minimum(
-                np.searchsorted(wanted, t), wanted.size - 1
-            )
-            mask = wanted[slots] == t
-        return self.mask_rows(mask)
+        return self.mask_rows(instants_member_mask(t, wanted))
 
     def restrict_objects(self, oids: Set[Hashable]) -> "MOFT":
         """Keep the samples of the given objects."""

@@ -50,6 +50,12 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
     MOFT rows handed to the residual scan when a misaligned window
     routes through a store (the hybrid path's scan cost).
 
+``scan_rows``
+    MOFT rows handed to a trajectory scan (every
+    :meth:`~repro.query.evaluator.TrajectoryIntersectionCounter
+    .matching_objects` call adds the scanned table's length); the
+    cost-based planner reads this back as a plan node's *actual rows*.
+
 Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``;
 the sharded executor adds ``shard_fanout`` (dispatch-to-last-result wall
 time), ``shard_scan`` (per-shard work, one call per shard, summed across
@@ -57,13 +63,22 @@ shards), ``merge``, and ``retry_backoff`` (deterministic backoff sleeps
 between retry rounds); the pre-aggregation layer adds ``preagg_build``,
 ``preagg_update`` (store maintenance) and ``preagg_lookup`` (planner
 routing + cell reads).
+
+Thread safety: counters and stage timers are mutated from worker threads
+by the ``threads`` backend of :mod:`repro.parallel`, so every read-modify-
+write on a :class:`PipelineStats` goes through one re-entrant lock —
+``incr``, ``record``, ``stage`` entry/exit, ``merge``, ``reset`` and the
+snapshot helpers are all atomic.  Instances stay picklable (the
+``processes`` backend ships worker stats back to the parent): the lock is
+dropped on pickle and recreated on unpickle.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Mapping, Optional
 
 
 class StageTimer:
@@ -95,14 +110,27 @@ class PipelineStats:
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.stages: Dict[str, StageTimer] = {}
+        self._lock = threading.RLock()
+
+    # -- pickling (the processes backend ships stats across the pool) --------
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- counters ------------------------------------------------------------
 
     def incr(self, name: str, by: int = 1) -> int:
-        """Add ``by`` to a named counter; returns the new value."""
-        value = self.counters.get(name, 0) + by
-        self.counters[name] = value
-        return value
+        """Add ``by`` to a named counter; returns the new value (atomic)."""
+        with self._lock:
+            value = self.counters.get(name, 0) + by
+            self.counters[name] = value
+            return value
 
     def count(self, name: str) -> int:
         """Current value of a named counter (0 if never incremented)."""
@@ -112,10 +140,11 @@ class PipelineStats:
 
     def timer(self, name: str) -> StageTimer:
         """Return (creating if needed) the timer of a named stage."""
-        timer = self.stages.get(name)
-        if timer is None:
-            timer = self.stages[name] = StageTimer()
-        return timer
+        with self._lock:
+            timer = self.stages.get(name)
+            if timer is None:
+                timer = self.stages[name] = StageTimer()
+            return timer
 
     @contextmanager
     def stage(self, name: str) -> Iterator[StageTimer]:
@@ -125,18 +154,19 @@ class PipelineStats:
         try:
             yield timer
         finally:
-            timer.record(time.perf_counter() - start)
+            self.record(name, time.perf_counter() - start)
 
     def record(self, name: str, seconds: float) -> StageTimer:
-        """Record one externally-timed call under a stage name.
+        """Record one externally-timed call under a stage name (atomic).
 
         The sharded executor uses this for per-shard timings: workers
         (possibly in other processes) measure their own wall time and the
         parent folds each measurement into its observer.
         """
-        timer = self.timer(name)
-        timer.record(float(seconds))
-        return timer
+        with self._lock:
+            timer = self.timer(name)
+            timer.record(float(seconds))
+            return timer
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds of a stage (0.0 if never entered)."""
@@ -146,27 +176,60 @@ class PipelineStats:
     # -- aggregation ---------------------------------------------------------
 
     def merge(self, other: "PipelineStats") -> "PipelineStats":
-        """Fold another instance's counters and timers into this one."""
-        for name, value in other.counters.items():
-            self.incr(name, value)
-        for name, timer in other.stages.items():
-            mine = self.timer(name)
-            mine.calls += timer.calls
-            mine.seconds += timer.seconds
-        return self
+        """Fold another instance's counters and timers into this one.
+
+        Atomic on *this* instance; ``other`` should be quiescent (a
+        returned worker's stats), as its dicts are iterated unlocked.
+        """
+        with self._lock:
+            for name, value in other.counters.items():
+                self.incr(name, value)
+            for name, timer in other.stages.items():
+                mine = self.timer(name)
+                mine.calls += timer.calls
+                mine.seconds += timer.seconds
+            return self
 
     def reset(self) -> None:
         """Zero every counter and timer."""
-        self.counters.clear()
-        self.stages.clear()
+        with self._lock:
+            self.counters.clear()
+            self.stages.clear()
 
     def as_dict(self) -> Dict[str, float]:
         """Flat report: counters verbatim, stages as ``<name>_seconds``."""
-        report: Dict[str, float] = dict(self.counters)
-        for name, timer in self.stages.items():
-            report[f"{name}_seconds"] = timer.seconds
-            report[f"{name}_calls"] = timer.calls
-        return report
+        with self._lock:
+            report: Dict[str, float] = dict(self.counters)
+            for name, timer in self.stages.items():
+                report[f"{name}_seconds"] = timer.seconds
+                report[f"{name}_calls"] = timer.calls
+            return report
+
+    # -- deltas (plan-node actuals) ------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """An atomic flat copy of every counter and stage figure.
+
+        Pair with :meth:`since` to attribute counters and wall time to
+        one bounded piece of work (the cost-based planner brackets each
+        plan execution this way to report *actual* rows and stage
+        seconds next to its estimates).
+        """
+        return self.as_dict()
+
+    def since(self, snapshot: Mapping[str, float]) -> Dict[str, float]:
+        """The change of every counter/stage figure since a snapshot.
+
+        Returns only non-zero deltas; figures absent from the snapshot
+        count from zero.  Counters stay ints, stage figures stay floats.
+        """
+        current = self.as_dict()
+        delta: Dict[str, float] = {}
+        for name, value in current.items():
+            change = value - snapshot.get(name, 0)
+            if change:
+                delta[name] = change
+        return delta
 
     def __repr__(self) -> str:
         return (
@@ -182,7 +245,8 @@ def _legacy_counter(name: str) -> property:
         return self.count(name)
 
     def _set(self: "EvaluationStats", value: int) -> None:
-        self.counters[name] = int(value)
+        with self._lock:
+            self.counters[name] = int(value)
 
     return property(_get, _set, doc=f"View over the {name!r} counter.")
 
@@ -233,10 +297,11 @@ class EvaluationStats(PipelineStats):
 
     @elapsed_seconds.setter
     def elapsed_seconds(self, value: float) -> None:
-        timer = self.timer(self.SCAN_STAGE)
-        timer.seconds = float(value)
-        if timer.calls == 0 and value:
-            timer.calls = 1
+        with self._lock:
+            timer = self.timer(self.SCAN_STAGE)
+            timer.seconds = float(value)
+            if timer.calls == 0 and value:
+                timer.calls = 1
 
     def as_dict(self) -> Dict[str, float]:
         """Flat report; always includes the legacy field names."""

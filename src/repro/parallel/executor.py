@@ -284,16 +284,22 @@ class ShardedExecutor:
         counter: TrajectoryIntersectionCounter,
         moft: MOFT,
         stats: Optional[EvaluationStats] = None,
+        n_shards: Optional[int] = None,
     ) -> Set[Hashable]:
         """Sharded :meth:`TrajectoryIntersectionCounter.matching_objects`.
 
         The MOFT is partitioned by objects (each object's whole history in
         one shard, preserving interpolation semantics); per-shard matched
         sets are disjoint, so their union is the exact serial answer.
+        ``n_shards`` overrides the executor's configured shard count for
+        this one scan — the cost-based planner passes its chosen count
+        here without reconstructing the executor.
         """
         shards = [
             shard
-            for shard in moft.partition_by_objects(self.n_shards)
+            for shard in moft.partition_by_objects(
+                n_shards if n_shards is not None else self.n_shards
+            )
             if len(shard)
         ]
         if not shards:

@@ -158,8 +158,15 @@ class OlapQuery:
 
 @dataclass(frozen=True)
 class PietQLQuery:
-    """A complete parsed query: geometric [| olap] [| moving objects]."""
+    """A complete parsed query: geometric [| olap] [| moving objects].
+
+    ``explain`` marks an ``EXPLAIN``-prefixed query: it executes
+    normally, and the executor additionally attaches a costed plan tree
+    (estimates from the :mod:`repro.query.planner` cost model, actuals
+    from the :mod:`repro.obs` counters) to the result.
+    """
 
     geometric: GeometricQuery
     moving_objects: Optional[MovingObjectQuery] = None
     olap: Optional[OlapQuery] = None
+    explain: bool = False

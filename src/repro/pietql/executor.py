@@ -10,8 +10,9 @@ exactly the two-stage pipeline of Section 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -22,6 +23,15 @@ from repro.pietql.parser import parse
 from repro.query.evaluator import (
     EvaluationStats,
     TrajectoryIntersectionCounter,
+)
+from repro.query.planner import (
+    CostModel,
+    GeometryStatistics,
+    PlanNode,
+    QueryPlan,
+    TableStatistics,
+    geometry_statistics,
+    table_statistics,
 )
 from repro.query.region import EvaluationContext
 
@@ -36,12 +46,19 @@ class LayerBinding:
 
 @dataclass(frozen=True)
 class PietQLResult:
-    """The outcome of executing a query."""
+    """The outcome of executing a query.
+
+    ``plan`` is populated only for ``EXPLAIN``-prefixed queries: a
+    :class:`~repro.query.planner.QueryPlan` whose tree carries cost-model
+    estimates next to the actual rows and stage seconds observed while
+    the query ran (``result.plan.render()`` is the EXPLAIN text).
+    """
 
     geometry_ids: frozenset
     count: Optional[float] = None
     matched_objects: Optional[frozenset] = None
     olap_result: Optional[Mapping[Hashable, float]] = None
+    plan: Optional[QueryPlan] = None
 
 
 class PietQLExecutor:
@@ -113,9 +130,30 @@ class PietQLExecutor:
     # -- execution -----------------------------------------------------------------
 
     def execute(self, query: "ast.PietQLQuery | str") -> PietQLResult:
-        """Execute a parsed query (or Piet-QL text)."""
+        """Execute a parsed query (or Piet-QL text).
+
+        ``EXPLAIN``-prefixed queries execute normally; the result
+        additionally carries a plan tree with cost-model estimates and
+        the actuals observed during this very execution (rows from the
+        ``scan_rows`` / ``sliver_scan_rows`` counters, seconds from the
+        stage timers), bracketed via the context observer's
+        :meth:`~repro.obs.PipelineStats.snapshot` /
+        :meth:`~repro.obs.PipelineStats.since`.
+        """
         if isinstance(query, str):
             query = parse(query)
+        if not query.explain:
+            return self._execute(query)
+        before = self.context.obs.snapshot()
+        started = time.perf_counter()
+        result = self._execute(query)
+        elapsed = time.perf_counter() - started
+        delta = self.context.obs.since(before)
+        return replace(
+            result, plan=self._build_plan(query, result, delta, elapsed)
+        )
+
+    def _execute(self, query: ast.PietQLQuery) -> PietQLResult:
         geometry_ids = self.execute_geometric(query.geometric)
         olap_result = None
         if query.olap is not None:
@@ -131,6 +169,193 @@ class PietQLExecutor:
         )
         return PietQLResult(
             frozenset(geometry_ids), count, frozenset(matched), olap_result
+        )
+
+    def _build_plan(
+        self,
+        query: ast.PietQLQuery,
+        result: PietQLResult,
+        delta: Mapping[str, float],
+        elapsed: float,
+    ) -> QueryPlan:
+        """Reconstruct the executed pipeline as a costed plan tree.
+
+        Unlike :func:`repro.query.planner.plan_count_objects_through`,
+        Piet-QL's moving part is route-first (pre-agg when a registered
+        store can serve the DURING run, else the grid-indexed scan), so
+        the plan documents the route that *did* run: estimates come
+        from the :class:`~repro.query.planner.CostModel` over table and
+        geometry statistics, actuals from this execution's observer
+        delta.  The rejected line still prices the road not taken when
+        both routes were available.
+        """
+        model = CostModel()
+        geo = query.geometric
+        n_ids = len(result.geometry_ids)
+        children: List[PlanNode] = [
+            PlanNode(
+                op="GeometricSubquery",
+                detail=(
+                    f"schema={geo.schema_name}, "
+                    f"conditions={len(geo.conditions)}"
+                ),
+                actual_rows=n_ids,
+                actual_seconds=delta.get("geometric_subquery_seconds", 0.0),
+            )
+        ]
+        if query.olap is not None:
+            label = f"{query.olap.function}({query.olap.value_name})"
+            if query.olap.by_level is not None:
+                label += f" BY {query.olap.by_level}"
+            children.append(
+                PlanNode(
+                    op="OlapAggregate",
+                    detail=label,
+                    actual_rows=(
+                        len(result.olap_result)
+                        if result.olap_result is not None
+                        else 0
+                    ),
+                )
+            )
+        mo = query.moving_objects
+        if mo is None:
+            root = PlanNode(
+                op="Aggregate",
+                detail="geometric result",
+                est_rows=n_ids,
+                est_cost=0.0,
+                children=tuple(children),
+                actual_rows=n_ids,
+                actual_seconds=elapsed,
+            )
+            return QueryPlan(
+                strategy="geometric",
+                root=root,
+                est_cost=0.0,
+                alternatives=(),
+                table=TableStatistics("", 0, 0, None, None),
+                geometry=GeometryStatistics(n_ids, 0.0),
+                executed=True,
+                result_count=n_ids,
+            )
+
+        moft = self.context.moft(mo.moft_name)
+        table = table_statistics(moft)
+        binding = self.resolve(geo.target)
+        geometry = geometry_statistics(
+            self.context,
+            (binding.layer, binding.kind),
+            set(result.geometry_ids),
+            moft,
+        )
+        n_geoms = geometry.count
+        if mo.during:
+            children.append(
+                PlanNode(
+                    op="DuringRestriction",
+                    detail=", ".join(
+                        f"{clause.level}={clause.member!r}"
+                        for clause in mo.during
+                    ),
+                    actual_seconds=delta.get(
+                        "during_restriction_seconds", 0.0
+                    ),
+                )
+            )
+        matched = (
+            len(result.matched_objects)
+            if result.matched_objects is not None
+            else 0
+        )
+        if not mo.through_result:
+            strategy = "count"
+            costs = {strategy: table.rows * model.row_cost}
+            body = PlanNode(
+                op="CountRows",
+                detail=f"moft={mo.moft_name}",
+                est_rows=table.rows,
+                est_cost=costs[strategy],
+                actual_rows=matched,
+            )
+        else:
+            scan_est = (
+                model.scan_cost(
+                    table.rows, n_geoms, geometry.coverage, indexed=True
+                )
+                if n_geoms
+                else 0.0
+            )
+            costs = {"grid": scan_est}
+            store = (
+                self.context.preagg_for(
+                    moft, binding.layer, binding.kind, result.geometry_ids
+                )
+                if n_geoms
+                else None
+            )
+            if store is not None and not store.is_stale():
+                costs["preagg"] = model.preagg_cost(
+                    len(store.partition), n_geoms, 0, geometry.coverage
+                )
+            strategy = (
+                "preagg" if delta.get("preagg_hits", 0) >= 1 else "grid"
+            )
+            if strategy == "preagg":
+                body = PlanNode(
+                    op="PreAggLookup",
+                    detail=(
+                        f"store={store.name if store is not None else '?'}"
+                    ),
+                    est_cost=costs.get("preagg"),
+                    actual_rows=matched,
+                    actual_seconds=delta.get("preagg_lookup_seconds", 0.0),
+                )
+            else:
+                body = PlanNode(
+                    op="GridScan",
+                    detail=(
+                        f"moft={mo.moft_name}, geoms={n_geoms}, "
+                        f"coverage={geometry.coverage:.3f}"
+                    ),
+                    est_rows=table.rows,
+                    est_cost=scan_est,
+                    actual_rows=int(delta.get("scan_rows", 0)),
+                    actual_seconds=delta.get("segment_scan_seconds", 0.0),
+                )
+        root = PlanNode(
+            op="Aggregate",
+            detail=(
+                f"count_{mo.count_what.lower()}, moft={mo.moft_name}, "
+                f"strategy={strategy}"
+            ),
+            est_rows=1,
+            est_cost=costs[strategy],
+            children=tuple(children) + (body,),
+            actual_rows=matched,
+            actual_seconds=elapsed,
+        )
+        alternatives = tuple(
+            sorted(
+                (
+                    (name, cost)
+                    for name, cost in costs.items()
+                    if name != strategy
+                ),
+                key=lambda pair: pair[1],
+            )
+        )
+        return QueryPlan(
+            strategy=strategy,
+            root=root,
+            est_cost=costs[strategy],
+            alternatives=alternatives,
+            table=table,
+            geometry=geometry,
+            executed=True,
+            result_count=(
+                int(result.count) if result.count is not None else None
+            ),
         )
 
     def _execute_olap(

@@ -65,4 +65,7 @@ def format_query(query: ast.PietQLQuery) -> str:
         parts.append(format_olap(query.olap))
     if query.moving_objects is not None:
         parts.append(format_moving(query.moving_objects))
-    return " | ".join(parts)
+    text = " | ".join(parts)
+    if query.explain:
+        text = "EXPLAIN " + text
+    return text

@@ -17,6 +17,7 @@ from repro.errors import PietQLSyntaxError
 
 #: Keywords, uppercased.  ``layer`` and ``sublevel`` are reference prefixes.
 KEYWORDS = {
+    "EXPLAIN",
     "SELECT",
     "FROM",
     "WHERE",

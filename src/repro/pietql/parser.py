@@ -2,7 +2,7 @@
 
 Grammar (keywords case-insensitive, semicolons optional)::
 
-    query       := geo_part [ '|' mo_part ]
+    query       := [ EXPLAIN ] geo_part [ '|' mo_part ]
     geo_part    := SELECT layer_ref (',' layer_ref)* [';']
                    FROM IDENT [';']
                    [ WHERE condition (AND condition)* [';'] ]
@@ -84,6 +84,7 @@ class _Parser:
     # -- grammar ------------------------------------------------------------------
 
     def parse_query(self) -> ast.PietQLQuery:
+        explain = self._accept_keyword("EXPLAIN")
         geometric = self._geo_part()
         olap: Optional[ast.OlapQuery] = None
         moving: Optional[ast.MovingObjectQuery] = None
@@ -99,7 +100,7 @@ class _Parser:
         self._skip_semicolons()
         if self._peek().type is not TokenType.EOF:
             raise self._error("unexpected trailing input")
-        return ast.PietQLQuery(geometric, moving, olap)
+        return ast.PietQLQuery(geometric, moving, olap, explain)
 
     def _olap_part(self) -> ast.OlapQuery:
         self._expect_keyword("AGGREGATE")

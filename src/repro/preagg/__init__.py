@@ -7,6 +7,18 @@ lattice rollup / cube exposure.  The query planner
 (:mod:`repro.query.optimizer`) routes eligible aggregates here.
 """
 
-from repro.preagg.store import OID_DTYPE, PreAggCell, PreAggStore
+from repro.preagg.store import (
+    OID_DTYPE,
+    PreAggCell,
+    PreAggStore,
+    PreAggStoreStats,
+    WindowCoverage,
+)
 
-__all__ = ["OID_DTYPE", "PreAggCell", "PreAggStore"]
+__all__ = [
+    "OID_DTYPE",
+    "PreAggCell",
+    "PreAggStore",
+    "PreAggStoreStats",
+    "WindowCoverage",
+]

@@ -65,6 +65,46 @@ _EMPTY_IDS = np.empty(0, dtype=OID_DTYPE)
 
 
 @dataclass(frozen=True)
+class PreAggStoreStats:
+    """Planner-facing summary of one store (see :meth:`PreAggStore.stats`).
+
+    The cost-based planner (:mod:`repro.query.planner`) prices the
+    pre-aggregation strategy from these figures without touching cells:
+    ``granules`` bounds the lookup work, ``built_rows`` is the table
+    coverage, and ``stale`` disqualifies the store outright.
+    """
+
+    name: str
+    granule_level: str
+    granules: int
+    geometries: int
+    objects: int
+    built_rows: int
+    stale: bool
+
+
+@dataclass(frozen=True)
+class WindowCoverage:
+    """How a time window decomposes against a store's granule partition.
+
+    ``run`` is the maximal covered granule run (None: no whole granule —
+    the store cannot serve the window); ``aligned`` whether the window
+    sits exactly on granule boundaries; ``sliver_rows`` the number of
+    MOFT rows a residual sliver scan would have to touch (0 when
+    aligned).  Computed without materializing the sliver subtable, so
+    the planner can price the hybrid strategy cheaply.
+    """
+
+    run: Optional[Tuple[int, int]]
+    aligned: bool
+    sliver_rows: int
+
+    @property
+    def covered(self) -> bool:
+        return self.run is not None
+
+
+@dataclass(frozen=True)
 class PreAggCell:
     """One decoded (geometry, granule) cell — for inspection and cubes."""
 
@@ -381,6 +421,20 @@ class PreAggStore:
                 [cells.span_dwell, np.array([r[3] for r in records], dtype=float)]
             )
 
+    # -- planner statistics ----------------------------------------------------
+
+    def stats(self) -> PreAggStoreStats:
+        """A cheap planner-facing summary (no cell access)."""
+        return PreAggStoreStats(
+            name=self.name,
+            granule_level=self.granule_level,
+            granules=len(self.partition),
+            geometries=len(self.gids),
+            objects=len(self._oid_values),
+            built_rows=self._built_rows,
+            stale=self.is_stale(),
+        )
+
     # -- staleness and incremental maintenance --------------------------------
 
     def is_stale(self) -> bool:
@@ -546,6 +600,41 @@ class PreAggStore:
         """True when the window lands exactly on granule boundaries."""
         return self.partition.aligned_run(float(start), float(end)) is not None
 
+    def _sliver_scan_mask(
+        self, start: float, end: float, run: Tuple[int, int]
+    ) -> Optional[np.ndarray]:
+        """Row mask of the residual scan for a misaligned window.
+
+        Selects the complete window-restricted history of every object
+        having at least one sample in a sliver — the part of
+        ``[start, end]`` outside the covered granule run — or None when
+        the window is fully covered by the run.
+        """
+        lo, hi = self.partition.span(*run)
+        t, _, _ = self.moft.as_arrays()
+        window = (t >= float(start)) & (t <= float(end))
+        sliver = window & ((t < lo) | (t > hi))
+        if not sliver.any():
+            return None
+        oid_col = self.moft.oid_column()
+        sliver_oids = set(oid_col[sliver].tolist())
+        mask = np.zeros(len(self.moft), dtype=bool)
+        for oid in sliver_oids:
+            mask[self.moft._object_rows()[oid]] = True
+        mask &= window
+        return mask
+
+    def sliver_row_count(
+        self, start: float, end: float, run: Tuple[int, int]
+    ) -> int:
+        """Rows :meth:`sliver_subtable` would hold, without building it.
+
+        The cost-based planner prices the pre-agg hybrid strategy from
+        this figure (granule lookups + a scan of this many rows).
+        """
+        mask = self._sliver_scan_mask(start, end, run)
+        return 0 if mask is None else int(mask.sum())
+
     def sliver_subtable(
         self, start: float, end: float, run: Tuple[int, int]
     ) -> Tuple[Optional[MOFT], int]:
@@ -553,27 +642,40 @@ class PreAggStore:
 
         Returns ``(table, rows)`` where the table holds the complete
         window-restricted history of every object having at least one
-        sample in a sliver — the part of ``[start, end]`` outside the
-        covered granule run — or ``(None, 0)`` when the window is fully
-        covered.  Scanning this table and unioning with
-        :meth:`objects_through` over the run reproduces the serial
-        window scan exactly: any window segment the store has not
-        accounted for has an endpoint in a sliver.
+        sample in a sliver (see :meth:`_sliver_scan_mask`), or
+        ``(None, 0)`` when the window is fully covered.  Scanning this
+        table and unioning with :meth:`objects_through` over the run
+        reproduces the serial window scan exactly: any window segment
+        the store has not accounted for has an endpoint in a sliver.
         """
-        lo, hi = self.partition.span(*run)
-        t, _, _ = self.moft.as_arrays()
-        window = (t >= float(start)) & (t <= float(end))
-        sliver = window & ((t < lo) | (t > hi))
-        if not sliver.any():
+        mask = self._sliver_scan_mask(start, end, run)
+        if mask is None:
             return None, 0
-        oid_col = self.moft.oid_column()
-        sliver_oids = set(oid_col[sliver].tolist())
-        mask = np.zeros(len(self.moft), dtype=bool)
-        for oid in sliver_oids:
-            mask[self.moft._object_rows()[oid]] = True
-        mask &= window
         table = self.moft.mask_rows(mask)
         return table, len(table)
+
+    def window_coverage(
+        self, start: Optional[float], end: Optional[float]
+    ) -> WindowCoverage:
+        """Decompose a window (None/None: whole table) for the planner.
+
+        Purely informational — computes the covered run, alignment and
+        sliver row count without touching counters or building the
+        sliver subtable, so the planner can price the pre-agg strategy
+        without perturbing the observable routing outcome.
+        """
+        if start is None or end is None:
+            if len(self.partition) == 0:
+                return WindowCoverage(run=None, aligned=True, sliver_rows=0)
+            return WindowCoverage(
+                run=(0, len(self.partition) - 1), aligned=True, sliver_rows=0
+            )
+        run = self.covered_run(start, end)
+        if run is None:
+            return WindowCoverage(run=None, aligned=False, sliver_rows=0)
+        aligned = self.is_aligned(start, end)
+        rows = 0 if aligned else self.sliver_row_count(start, end, run)
+        return WindowCoverage(run=run, aligned=aligned, sliver_rows=rows)
 
     def window_dwell(
         self, ids: Iterable[Hashable], start: float, end: float
@@ -873,4 +975,10 @@ class PreAggStore:
         )
 
 
-__all__ = ["OID_DTYPE", "PreAggCell", "PreAggStore"]
+__all__ = [
+    "OID_DTYPE",
+    "PreAggCell",
+    "PreAggStore",
+    "PreAggStoreStats",
+    "WindowCoverage",
+]

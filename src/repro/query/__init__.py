@@ -25,6 +25,14 @@ from repro.query.evaluator import (
     geometric_subquery,
 )
 from repro.query.optimizer import FilteredMoft, push_down_time
+from repro.query.planner import (
+    CostModel,
+    PlanNode,
+    QueryPlan,
+    explain,
+    plan_count_objects_through,
+    planned_count_objects_through,
+)
 from repro.query.vectorized import polygon_contains_batch, samples_in_polygons
 from repro.query.trajectory_queries import (
     aggregate_trajectory_measure,
@@ -53,6 +61,12 @@ __all__ = [
     "geometric_subquery",
     "FilteredMoft",
     "push_down_time",
+    "CostModel",
+    "PlanNode",
+    "QueryPlan",
+    "explain",
+    "plan_count_objects_through",
+    "planned_count_objects_through",
     "polygon_contains_batch",
     "samples_in_polygons",
     "aggregate_trajectory_measure",

@@ -141,6 +141,37 @@ class Formula(abc.ABC):
     def free_variables(self) -> frozenset:
         """Names of the variables occurring free in the formula."""
 
+    def describe(self, indent: int = 0) -> str:
+        """Render the formula as an indented one-node-per-line tree.
+
+        Connectives and quantifiers open a level, atoms print their
+        :meth:`_describe_line` (default: the dataclass repr).  This is
+        the formula half of EXPLAIN output — see
+        :meth:`repro.query.builder.RegionBuilder.explain`.
+        """
+        pad = "  " * indent
+        if isinstance(self, (And, Or)):
+            lines = [f"{pad}{type(self).__name__}"]
+            lines.extend(c.describe(indent + 1) for c in self.children)
+            return "\n".join(lines)
+        if isinstance(self, Not):
+            return "\n".join(
+                [f"{pad}Not", self.child.describe(indent + 1)]
+            )
+        if isinstance(self, (Exists, ForAll)):
+            return "\n".join(
+                [
+                    f"{pad}{type(self).__name__} {self.var!r} "
+                    f"in {type(self.domain).__name__}",
+                    self.child.describe(indent + 1),
+                ]
+            )
+        return f"{pad}{self._describe_line()}"
+
+    def _describe_line(self) -> str:
+        """One-line label of a leaf node (atoms override as needed)."""
+        return repr(self)
+
     def __and__(self, other: "Formula") -> "And":
         return And(self, other)
 

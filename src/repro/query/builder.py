@@ -261,6 +261,30 @@ class RegionBuilder:
         ]
         return SpatioTemporalRegion(self._outputs, ast.And(*conjuncts))
 
+    def explain(self, context) -> str:
+        """Describe the region this builder would evaluate, with rewrites.
+
+        Renders the formula tree (:meth:`~repro.query.ast.Formula
+        .describe`) and, when the :func:`~repro.query.optimizer
+        .push_down_time` rewrite applies against the given context, the
+        rewritten tree next to it.  Purely informational — nothing is
+        evaluated.
+        """
+        from repro.query.optimizer import push_down_time
+
+        region = self.build(context.gis)
+        rewritten = push_down_time(region, context)
+        lines = [
+            f"Region(outputs={', '.join(region.output_variables)})",
+            region.formula.describe(1),
+        ]
+        if rewritten.formula is not region.formula:
+            lines.append("Rewritten by push_down_time:")
+            lines.append(rewritten.formula.describe(1))
+        else:
+            lines.append("push_down_time: not applicable")
+        return "\n".join(lines)
+
     def count_query(
         self,
         distinct_objects: bool = False,

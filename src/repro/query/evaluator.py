@@ -117,6 +117,7 @@ class TrajectoryIntersectionCounter:
         """
         stats = stats if stats is not None else EvaluationStats()
         matched: Set[Hashable] = set()
+        stats.incr("scan_rows", len(moft))
         with stats.stage(EvaluationStats.SCAN_STAGE):
             accepted = self._vectorized_accepts(moft, stats)
             for oid in moft.objects():
@@ -261,16 +262,20 @@ def validated_window(
     return (start, end)
 
 
-def _counter_for(
+def counter_for(
     context: EvaluationContext,
     target: Tuple[str, str],
     ids: Set[Hashable],
-    use_index: bool,
-    early_exit: bool,
-    vectorized: bool,
-    stats: Optional[EvaluationStats],
+    use_index: bool = True,
+    early_exit: bool = True,
+    vectorized: bool = True,
+    stats: Optional[EvaluationStats] = None,
 ) -> TrajectoryIntersectionCounter:
-    """Build the scan counter over one geometric answer (shared setup)."""
+    """Build the scan counter over one geometric answer (shared setup).
+
+    Public because the cost-based planner (:mod:`repro.query.planner`)
+    builds the same counter when it executes a chosen strategy.
+    """
     layer, kind = target
     elements = context.gis.layer(layer).elements(kind)
     index = (
@@ -326,7 +331,7 @@ def objects_through(
         if route is not None:
             matched = route.store.objects_through(ids, *route.run)
             if route.sliver is not None:
-                counter = _counter_for(
+                counter = counter_for(
                     context, target, ids, use_index, early_exit,
                     vectorized, stats,
                 )
@@ -337,19 +342,18 @@ def objects_through(
                 else:
                     matched |= counter.matching_objects(route.sliver, stats)
             return matched
-    counter = _counter_for(
+    counter = counter_for(
         context, target, ids, use_index, early_exit, vectorized, stats
     )
     if window is not None:
-        moft = _window_restricted(moft, window)
+        moft = window_restricted(moft, window)
     if executor is not None:
         return executor.matching_objects(counter, moft, stats)
     return counter.matching_objects(moft, stats)
 
 
-def _window_restricted(moft: MOFT, window: Tuple[float, float]) -> MOFT:
-    import numpy as np
-
+def window_restricted(moft: MOFT, window: Tuple[float, float]) -> MOFT:
+    """The MOFT restricted to samples with ``start <= t <= end``."""
     t, _, _ = moft.as_arrays()
     return moft.mask_rows((t >= window[0]) & (t <= window[1]))
 
@@ -407,8 +411,10 @@ __all__ = [
     "EvaluationStats",
     "ShardedTrajectoryExecutor",
     "TrajectoryIntersectionCounter",
+    "counter_for",
     "geometric_subquery",
     "validated_window",
+    "window_restricted",
     "objects_through",
     "count_objects_through",
 ]

@@ -41,7 +41,7 @@ from typing import (
     Tuple,
 )
 
-from repro.mo.moft import MOFT
+from repro.mo.moft import MOFT, is_member_instant, sorted_instants
 from repro.obs import PipelineStats
 from repro.query import ast
 from repro.query.region import EvaluationContext, SpatioTemporalRegion
@@ -52,7 +52,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class FilteredMoft(ast.Atom):
-    """A MOFT atom restricted to an instant set (optimizer-produced)."""
+    """A MOFT atom restricted to an instant set (optimizer-produced).
+
+    Membership uses the same canonical sorted-array, ulp-tolerant
+    predicate as :meth:`~repro.mo.moft.MOFT.restrict_instants`
+    (:func:`repro.mo.moft.is_member_instant`) — never exact float set
+    membership, which silently drops instants that drifted 1 ulp
+    through interpolation or granule arithmetic.
+    """
 
     inner: ast.Moft
     instants: FrozenSet[float]
@@ -63,9 +70,25 @@ class FilteredMoft(ast.Atom):
     def can_enumerate(self, env) -> bool:
         return True
 
+    @property
+    def _sorted_instants(self):
+        """The canonical sorted-array form of ``instants`` (cached)."""
+        cached = self.__dict__.get("_sorted_instants_cache")
+        if cached is None:
+            cached = sorted_instants(self.instants)
+            object.__setattr__(self, "_sorted_instants_cache", cached)
+        return cached
+
+    def _describe_line(self) -> str:
+        # The instant set can hold thousands of floats; summarize it.
+        return (
+            f"FilteredMoft({self.inner._describe_line()}, "
+            f"instants={len(self.instants)})"
+        )
+
     def check(self, context, env) -> bool:
         t = ast.term_value(self.inner.t, env)
-        if float(t) not in self.instants:
+        if not is_member_instant(float(t), self._sorted_instants):
             return False
         return self.inner.check(context, env)
 

@@ -1,0 +1,206 @@
+"""Differential guarantees for the cost-based planner.
+
+The planner chooses *how* a through-aggregate runs, never *what* it
+answers: every strategy it can emit (serial, grid, sharded, pre-agg
+hybrid) must return exactly the serial scan's count, on the paper's
+Figure 1 world and on the 10k-sample synthetic city, including the
+misaligned windows that force the store-plus-sliver hybrid.  A
+hypothesis fuzz over the cost-model constants then pins the stronger
+property: whatever strategy any constants make the planner pick, the
+answer never changes.
+
+Contexts are module-local (not the shared session fixtures): planning
+registers stores and warms grid caches, which must not leak out.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis import NODE, POLYGON, POLYLINE
+from repro.parallel import ShardedExecutor
+from repro.preagg import PreAggStore
+from repro.query.evaluator import count_objects_through
+from repro.query.planner import (
+    STRATEGIES,
+    CostModel,
+    plan_count_objects_through,
+    planned_count_objects_through,
+)
+from repro.query.region import EvaluationContext
+from repro.synth import CityConfig, build_city, figure1_instance
+from repro.synth.movement import random_waypoint_moft
+from repro.temporal.calendar import hourly
+from repro.temporal.timedim import TimeDimension
+
+FIG1_TARGET = ("Ln", POLYGON)
+FIG1_CONSTRAINTS = [
+    ("intersects", ("Lr", POLYLINE)),
+    ("contains", ("Ls", NODE)),
+]
+SYNTH_TARGET = ("Ln", POLYGON)
+SYNTH_CONSTRAINTS = [("intersects", ("Lr", POLYLINE))]
+
+#: Synthetic-world windows: full span, day-aligned, and misaligned
+#: (the hybrid store-cells-plus-sliver-scan path).
+SYNTH_WINDOWS = [None, (24.0, 71.0), (30.5, 80.5)]
+
+
+@pytest.fixture(scope="module")
+def fig1_preagg():
+    context = figure1_instance().context()
+    moft = context.moft("FMbus")
+    elements = context.gis.layer("Ln").elements(POLYGON)
+    store = PreAggStore(
+        moft, context.time, "hour", elements, layer="Ln", kind=POLYGON
+    )
+    context.register_preagg(store)
+    return context
+
+
+@pytest.fixture(scope="module")
+def synth_preagg():
+    city = build_city(
+        CityConfig(cols=6, rows=6), rng=np.random.default_rng(20060109)
+    )
+    moft = random_waypoint_moft(
+        city.bounding_box,
+        n_objects=100,
+        n_instants=100,
+        speed=city.config.block_size / 2,
+        rng=np.random.default_rng(42),
+    )
+    time_dim = TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(100)
+    )
+    context = EvaluationContext(city.gis, time_dim, moft)
+    elements = city.gis.layer("Ln").elements(POLYGON)
+    store = PreAggStore(
+        moft, time_dim, "day", elements, layer="Ln", kind=POLYGON
+    )
+    context.register_preagg(store)
+    return context
+
+
+def assert_all_strategies_agree(
+    context, target, constraints, moft_name="FM", window=None
+):
+    """Every planner strategy must equal the direct serial scan."""
+    reference = count_objects_through(
+        context, target, constraints, moft_name=moft_name, window=window,
+        use_preagg=False, use_index=False, vectorized=False,
+    )
+    executor = ShardedExecutor(backend="threads", n_shards=3, obs=context.obs)
+    for strategy in STRATEGIES:
+        count, plan = planned_count_objects_through(
+            context, target, constraints, moft_name=moft_name,
+            window=window, executor=executor, force_strategy=strategy,
+        )
+        assert plan.strategy == strategy
+        assert count == reference, (
+            f"strategy {strategy!r} diverged for window={window}: "
+            f"{count} != {reference}"
+        )
+    auto_count, auto_plan = planned_count_objects_through(
+        context, target, constraints, moft_name=moft_name,
+        window=window, executor=executor,
+    )
+    assert auto_count == reference
+    assert auto_plan.strategy in STRATEGIES
+    return reference
+
+
+class TestFig1:
+    def test_full_span_all_strategies(self, fig1_preagg):
+        reference = assert_all_strategies_agree(
+            fig1_preagg, FIG1_TARGET, FIG1_CONSTRAINTS, moft_name="FMbus"
+        )
+        assert reference == 5
+
+    def test_aligned_window_all_strategies(self, fig1_preagg):
+        # The Morning granule run: instants {2, 3, 4}.
+        assert_all_strategies_agree(
+            fig1_preagg, FIG1_TARGET, FIG1_CONSTRAINTS,
+            moft_name="FMbus", window=(2.0, 4.0),
+        )
+
+
+class TestSynth:
+    @pytest.mark.parametrize(
+        "window", SYNTH_WINDOWS, ids=["full", "aligned", "misaligned"]
+    )
+    def test_all_strategies_agree(self, synth_preagg, window):
+        if window is not None and window == (30.5, 80.5):
+            store = synth_preagg._preagg_stores[0]
+            assert not store.is_aligned(*window)
+        assert_all_strategies_agree(
+            synth_preagg, SYNTH_TARGET, SYNTH_CONSTRAINTS, window=window
+        )
+
+    def test_misaligned_plan_shows_sliver(self, synth_preagg):
+        plan = plan_count_objects_through(
+            synth_preagg, SYNTH_TARGET, SYNTH_CONSTRAINTS,
+            window=(30.5, 80.5), force_strategy="preagg",
+        )
+        sliver = plan.root.find("SliverScan")
+        assert sliver is not None
+        assert sliver.est_rows > 0
+
+    def test_aligned_plan_has_no_sliver(self, synth_preagg):
+        plan = plan_count_objects_through(
+            synth_preagg, SYNTH_TARGET, SYNTH_CONSTRAINTS,
+            window=(24.0, 71.0), force_strategy="preagg",
+        )
+        assert plan.root.find("SliverScan") is None
+
+
+#: Positive cost constants spanning six orders of magnitude — wide
+#: enough to flip the planner's choice every which way.
+positive = st.floats(
+    min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCostConstantFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        check_cost=positive,
+        row_cost=positive,
+        probe_cost=positive,
+        granule_cost=positive,
+        thread_task_overhead=positive,
+        thread_speedup=st.floats(min_value=1.0, max_value=16.0),
+    )
+    def test_choice_never_changes_the_answer(
+        self,
+        fig1_preagg,
+        check_cost,
+        row_cost,
+        probe_cost,
+        granule_cost,
+        thread_task_overhead,
+        thread_speedup,
+    ):
+        """Whatever the constants pick, the count is the serial answer."""
+        model = CostModel(
+            check_cost=check_cost,
+            row_cost=row_cost,
+            probe_cost=probe_cost,
+            granule_cost=granule_cost,
+            thread_task_overhead=thread_task_overhead,
+            thread_speedup=thread_speedup,
+        )
+        executor = ShardedExecutor(
+            backend="threads", n_shards=2, obs=fig1_preagg.obs
+        )
+        count, plan = planned_count_objects_through(
+            fig1_preagg, FIG1_TARGET, FIG1_CONSTRAINTS, moft_name="FMbus",
+            executor=executor, cost_model=model,
+        )
+        assert plan.strategy in STRATEGIES
+        assert count == 5

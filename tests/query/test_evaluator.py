@@ -72,12 +72,14 @@ class TestTrajectoryIntersectionCounter:
         assert stats.objects_matched == 3
         assert stats.segment_checks > 0
         assert stats.elapsed_seconds >= 0
+        assert stats.count("scan_rows") == len(self.moft())
         assert set(stats.as_dict()) == {
             "segment_checks",
             "bbox_rejections",
             "objects_scanned",
             "objects_matched",
             "elapsed_seconds",
+            "scan_rows",
         }
 
     def test_early_exit_fewer_checks(self):

@@ -136,3 +136,51 @@ class TestFilteredMoftAtom:
         filtered = FilteredMoft(inner, frozenset({5.0, 6.0}))
         rows = list(filtered.enumerate_bindings(ctx, {}))
         assert {row["oid"] for row in rows} == {"O3", "O4"}
+
+    def test_check_tolerates_ulp_drift(self, world):
+        """Regression: membership was exact float set lookup.
+
+        Instants that drifted a few ulp through interpolation or
+        granule arithmetic (e.g. ``0.1 + 0.2`` vs ``0.3``) were
+        silently dropped, so push-down could change answers.  The
+        predicate is now the same sorted-array, ulp-tolerant check as
+        ``MOFT.restrict_instants``.
+        """
+        import numpy as np
+
+        ctx = world.context()
+        drifted = np.nextafter(np.nextafter(2.0, np.inf), np.inf)
+        assert drifted != 2.0
+        inner = Moft(
+            Const("O1"), Const(drifted), Const(4.0), Const(2.0), "FMbus"
+        )
+        # The MOFT row check itself uses Const equality, so probe the
+        # membership predicate through an instant set containing the
+        # drifted value and a query at the nominal one, and vice versa.
+        filtered = FilteredMoft(
+            Moft(Const("O1"), Const(2.0), Const(4.0), Const(2.0), "FMbus"),
+            frozenset({drifted, 5.0}),
+        )
+        assert filtered.check(ctx, {})
+
+    def test_check_rejects_genuinely_different_instants(self, world):
+        ctx = world.context()
+        inner = Moft(Const("O1"), Const(2.0), Const(4.0), Const(2.0), "FMbus")
+        filtered = FilteredMoft(inner, frozenset({2.5, 5.0}))
+        assert not filtered.check(ctx, {})
+
+    def test_classic_float_arithmetic_case(self, world):
+        """0.1 + 0.2 must count as a member of {0.3}."""
+        from repro.mo.moft import is_member_instant, sorted_instants
+
+        arr = sorted_instants({0.3, 1.0})
+        assert 0.1 + 0.2 != 0.3
+        assert is_member_instant(0.1 + 0.2, arr)
+        assert not is_member_instant(0.31, arr)
+
+    def test_describe_summarizes_instants(self, world):
+        inner = Moft(OID, T, X, Y, "FMbus")
+        filtered = FilteredMoft(inner, frozenset({1.0, 2.0, 3.0}))
+        line = filtered._describe_line()
+        assert "instants=3" in line
+        assert "1.0" not in line  # the set itself is not dumped

@@ -1,5 +1,7 @@
 """Tests for the pipeline observability module (repro.obs)."""
 
+import pickle
+import threading
 import time
 
 import pytest
@@ -117,6 +119,110 @@ class TestEvaluationStats:
 
     def test_is_pipeline_stats(self):
         assert isinstance(EvaluationStats(), PipelineStats)
+
+
+class TestThreadSafety:
+    """Regression: counters used to drop increments under contention.
+
+    The threads backend of ``repro.parallel`` mutates one shared
+    observer from worker threads; unlocked read-modify-write on the
+    counter dict lost updates.  These tests hammer a shared instance
+    from N threads and demand *exact* totals.
+    """
+
+    N_THREADS = 8
+    N_INCREMENTS = 2_000
+
+    def _hammer(self, stats, barrier):
+        barrier.wait()
+        for _ in range(self.N_INCREMENTS):
+            stats.incr("hits")
+            stats.incr("batch", 3)
+            with stats.stage("scan"):
+                pass
+            stats.record("external", 0.001)
+
+    def test_exact_totals_under_contention(self):
+        stats = PipelineStats()
+        barrier = threading.Barrier(self.N_THREADS)
+        threads = [
+            threading.Thread(target=self._hammer, args=(stats, barrier))
+            for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = self.N_THREADS * self.N_INCREMENTS
+        assert stats.count("hits") == total
+        assert stats.count("batch") == 3 * total
+        assert stats.stages["scan"].calls == total
+        assert stats.stages["external"].calls == total
+        assert stats.stages["external"].seconds == pytest.approx(
+            0.001 * total
+        )
+
+    def test_concurrent_merge_is_exact(self):
+        target = PipelineStats()
+        source = PipelineStats()
+        source.incr("n", 5)
+        with source.stage("s"):
+            pass
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def merger():
+            barrier.wait()
+            for _ in range(200):
+                target.merge(source)
+
+        threads = [
+            threading.Thread(target=merger) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merges = self.N_THREADS * 200
+        assert target.count("n") == 5 * merges
+        assert target.stages["s"].calls == merges
+
+
+class TestPickling:
+    """The processes backend ships stats across the pool boundary."""
+
+    def test_roundtrip_drops_and_recreates_lock(self):
+        stats = EvaluationStats()
+        stats.incr("n", 7)
+        with stats.stage("s"):
+            pass
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.count("n") == 7
+        assert clone.stages["s"].calls == 1
+        # The recreated lock must actually work.
+        clone.incr("n")
+        assert clone.count("n") == 8
+
+
+class TestSnapshotSince:
+    def test_since_reports_only_deltas(self):
+        stats = PipelineStats()
+        stats.incr("before", 2)
+        snap = stats.snapshot()
+        stats.incr("before", 3)
+        stats.incr("after")
+        with stats.stage("scan"):
+            time.sleep(0.001)
+        delta = stats.since(snap)
+        assert delta["before"] == 3
+        assert delta["after"] == 1
+        assert delta["scan_calls"] == 1
+        assert delta["scan_seconds"] > 0
+
+    def test_unchanged_figures_are_omitted(self):
+        stats = PipelineStats()
+        stats.incr("steady", 4)
+        snap = stats.snapshot()
+        assert stats.since(snap) == {}
 
 
 class TestStageTimer:
