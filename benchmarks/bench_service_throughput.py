@@ -1,0 +1,153 @@
+"""E21 — Query-service throughput: sustained jobs/sec through the queue.
+
+Two workloads over the Figure 1 world (queries short enough that the
+*service machinery* — claim transactions, lease bookkeeping, result
+persistence — is a visible fraction of each job):
+
+* **batch drain** — N jobs pre-queued, then a worker pool drains them;
+  measures steady-state throughput per backend (memory vs SQLite) and
+  per worker count;
+* **concurrent submit+drain** — submitter threads race the running
+  pool; measures end-to-end throughput when the queue never idles, and
+  checks the admission/bookkeeping invariants under that load.
+
+Every run asserts exactness before it reports a number: all jobs
+``done``, each with the serial answer, no retries consumed.  A
+throughput table without that check would happily report a fast queue
+that loses jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bench import print_table
+from repro.gis import NODE, POLYGON, POLYLINE
+from repro.service import (
+    MemoryJobQueue,
+    QueryService,
+    QuerySpec,
+    SQLiteJobQueue,
+    ServiceWorld,
+    load_world,
+)
+
+SPEC = QuerySpec.through(
+    ("Ln", POLYGON),
+    [("intersects", ("Lr", POLYLINE)), ("contains", ("Ls", NODE))],
+    moft_name="FMbus",
+)
+N_JOBS = 40
+
+
+@pytest.fixture(scope="module")
+def world() -> ServiceWorld:
+    return load_world("fig1")
+
+
+def make_queue(kind: str, tmp_path, tag: str):
+    if kind == "memory":
+        return MemoryJobQueue()
+    return SQLiteJobQueue(str(tmp_path / f"bench-{tag}.db"))
+
+
+def assert_all_exact(service, job_ids) -> None:
+    for job_id in job_ids:
+        job = service.status(job_id)
+        assert job.state == "done", job.describe()
+        assert job.attempts == 1, job.describe()
+        assert service.result(job_id) == {"kind": "through", "count": 5}
+
+
+def drain_batch(world, queue, n_workers: int) -> float:
+    """Queue N_JOBS, drain them, return wall seconds for the drain."""
+    service = QueryService(queue=queue, world=world, n_workers=n_workers)
+    job_ids = [service.submit(SPEC) for _ in range(N_JOBS)]
+    start = time.perf_counter()
+    with service:
+        service.drain(timeout=300.0)
+    elapsed = time.perf_counter() - start
+    assert_all_exact(service, job_ids)
+    return elapsed
+
+
+def test_batch_drain_throughput(world, tmp_path):
+    """Sustained jobs/sec per queue backend and worker count."""
+    rows = []
+    for kind in ("memory", "sqlite"):
+        for n_workers in (1, 2, 4):
+            queue = make_queue(kind, tmp_path, f"{kind}{n_workers}")
+            try:
+                seconds = drain_batch(world, queue, n_workers)
+            finally:
+                if isinstance(queue, SQLiteJobQueue):
+                    queue.close()
+            rows.append(
+                (
+                    f"{kind}, {n_workers} worker(s)",
+                    f"{seconds:.3f}",
+                    f"{N_JOBS / seconds:.1f}",
+                )
+            )
+    print_table(
+        f"batch drain, {N_JOBS} Figure-1 count jobs",
+        ["configuration", "seconds", "jobs/s"],
+        rows,
+    )
+
+
+def test_concurrent_submit_and_drain(world, tmp_path):
+    """Submitters race the running pool; the queue never idles."""
+    n_submitters, per_submitter = 4, 10
+    n_jobs = n_submitters * per_submitter
+    rows = []
+    for kind in ("memory", "sqlite"):
+        queue = make_queue(kind, tmp_path, f"live-{kind}")
+        service = QueryService(queue=queue, world=world, n_workers=4)
+        job_ids, lock = [], threading.Lock()
+
+        def submitter() -> None:
+            for _ in range(per_submitter):
+                job_id = service.submit(SPEC)
+                with lock:
+                    job_ids.append(job_id)
+
+        try:
+            start = time.perf_counter()
+            with service:
+                threads = [
+                    threading.Thread(target=submitter)
+                    for _ in range(n_submitters)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                service.drain(timeout=300.0)
+            elapsed = time.perf_counter() - start
+            assert len(job_ids) == n_jobs
+            assert_all_exact(service, job_ids)
+            metrics = service.metrics()
+            assert metrics["jobs_submitted"] == n_jobs
+            assert metrics["jobs_completed"] == n_jobs
+            wait = metrics.get("service_queue_wait_seconds", 0.0)
+            rows.append(
+                (
+                    kind,
+                    f"{elapsed:.3f}",
+                    f"{n_jobs / elapsed:.1f}",
+                    f"{wait / n_jobs:.4f}",
+                )
+            )
+        finally:
+            if isinstance(queue, SQLiteJobQueue):
+                queue.close()
+    print_table(
+        f"concurrent submit+drain, {n_jobs} jobs, "
+        f"{n_submitters} submitters vs 4 workers",
+        ["queue", "seconds", "jobs/s", "mean queue wait (s)"],
+        rows,
+    )

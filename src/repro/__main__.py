@@ -1,18 +1,30 @@
 """``python -m repro`` — the command-line entry point.
 
-Two subcommands:
+Subcommands:
 
 * ``demo`` (the default) — renders the paper's Figure 1 as ASCII, runs
   the Remark 1 query and prints the 4/3 answer with its breakdown;
 * ``info PATH`` — reads a MOFT CSV dump (``oid,t,x,y`` with a header)
   and prints a one-screen summary: rows, objects, time span, bounding
-  box.
+  box;
+* the query-service verbs (see ``docs/service.md``), all sharing a
+  SQLite-backed durable job queue file (``--db``):
 
-Failure semantics: bad input (a missing file, a malformed CSV) exits
-with status 2 and a single ``error: ...`` line on stderr — never a
-traceback.  Every domain failure is a typed
-:class:`~repro.errors.ReproError` subclass, which is what makes that
-guarantee enforceable (see ``tests/test_cli.py``).
+  - ``submit`` — admission-checked enqueue of a Piet-QL string or a
+    builder-API ``--through`` count spec; prints the job id;
+  - ``serve`` — run a worker pool over the queue (``--drain``
+    processes everything queued, then exits — the batch mode the
+    tests and CI drive);
+  - ``status JOB`` — one-screen job record: state, attempts, error,
+    fault trace, metrics snapshot;
+  - ``result JOB`` — the canonical result JSON of a ``done`` job (and
+    its EXPLAIN plan with ``--explain``).
+
+Failure semantics: bad input (a missing file, a malformed CSV or query,
+a rejected admission, an unknown job id) exits with status 2 and a
+single ``error: ...`` line on stderr — never a traceback.  Every domain
+failure is a typed :class:`~repro.errors.ReproError` subclass, which is
+what makes that guarantee enforceable (see ``tests/test_cli.py``).
 """
 
 from __future__ import annotations
@@ -21,7 +33,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 
 
 def _run_demo() -> int:
@@ -84,18 +96,285 @@ def _run_info(path: str) -> int:
     return 0
 
 
+# -- service verbs -------------------------------------------------------------
+
+
+def _parse_target(text: str):
+    parts = text.split(":")
+    if len(parts) != 2 or not all(parts):
+        raise ServiceError(
+            f"target must be LAYER:KIND (e.g. Ln:polygon), got {text!r}"
+        )
+    return (parts[0], parts[1])
+
+
+def _parse_constraint(text: str):
+    parts = text.split(":")
+    if len(parts) != 3 or not all(parts):
+        raise ServiceError(
+            "constraint must be RELATION:LAYER:KIND "
+            f"(e.g. intersects:Lr:polyline), got {text!r}"
+        )
+    return (parts[0], (parts[1], parts[2]))
+
+
+def _parse_window(text: str):
+    parts = text.split(":")
+    try:
+        start, end = (float(parts[0]), float(parts[1]))
+    except (ValueError, IndexError):
+        raise ServiceError(
+            f"window must be START:END (two numbers), got {text!r}"
+        ) from None
+    return (start, end)
+
+
+def _build_spec(args):
+    from repro.service import QuerySpec
+
+    if args.through is not None:
+        if args.query is not None:
+            raise ServiceError(
+                "pass either a Piet-QL query or --through, not both"
+            )
+        return QuerySpec.through(
+            _parse_target(args.through),
+            [_parse_constraint(c) for c in args.constraint],
+            moft_name=args.moft,
+            window=(
+                _parse_window(args.window)
+                if args.window is not None
+                else None
+            ),
+        )
+    if args.query is None:
+        raise ServiceError(
+            "nothing to submit: pass a Piet-QL query string or --through"
+        )
+    return QuerySpec.pietql(args.query)
+
+
+def _run_submit(args) -> int:
+    from repro.service import (
+        AdmissionController,
+        AdmissionPolicy,
+        SQLiteJobQueue,
+    )
+
+    spec = _build_spec(args)
+    queue = SQLiteJobQueue(args.db)
+    try:
+        admission = AdmissionController(
+            AdmissionPolicy(
+                max_queue_depth=args.max_depth,
+                max_in_flight_per_client=args.max_inflight,
+            ),
+            obs=queue.obs,
+        )
+        with queue._lock:
+            admission.admit(queue, args.client)
+            job = queue.enqueue(
+                spec, client_id=args.client, max_retries=args.retries
+            )
+        print(job.job_id)
+        print(
+            f"queued {spec.describe()} (depth={queue.depth()})",
+            file=sys.stderr,
+        )
+        return 0
+    finally:
+        queue.close()
+
+
+def _run_serve(args) -> int:
+    from repro.service import SQLiteJobQueue, WorkerPool, load_world
+
+    world = load_world(args.world)
+    queue = SQLiteJobQueue(args.db)
+    pool = WorkerPool(
+        queue,
+        world,
+        n_workers=args.workers,
+        lease_s=args.lease,
+        backend=args.backend,
+    )
+    try:
+        with pool:
+            if args.drain:
+                pool.drain(timeout=args.timeout)
+            else:  # pragma: no cover - interactive mode
+                print(
+                    f"serving world {args.world!r} from {args.db} "
+                    f"with {args.workers} worker(s); Ctrl-C to stop"
+                )
+                try:
+                    while True:
+                        pool._stop.wait(0.5)
+                except KeyboardInterrupt:
+                    pass
+        counts = queue.counts()
+        print(
+            f"queue {args.db}: "
+            + " ".join(f"{s}={counts[s]}" for s in sorted(counts))
+        )
+        return 0
+    finally:
+        queue.close()
+
+
+def _format_job(job, verbose: bool = True) -> str:
+    lines = [f"job {job.job_id}: {job.state}"]
+    lines.append(f"  client:   {job.client_id}")
+    lines.append(f"  query:    {job.spec.describe()}")
+    lines.append(
+        f"  attempts: {job.attempts} (max_retries={job.max_retries})"
+    )
+    if job.worker_id:
+        lines.append(f"  worker:   {job.worker_id}")
+    if job.error:
+        lines.append(f"  error:    {job.error}")
+    if job.fault_trace:
+        lines.append(f"  faults:   {job.fault_trace}")
+    if verbose and job.metrics_json:
+        lines.append(f"  metrics:  {job.metrics_json}")
+    return "\n".join(lines)
+
+
+def _run_status(args) -> int:
+    from repro.service import SQLiteJobQueue
+
+    queue = SQLiteJobQueue(args.db)
+    try:
+        print(_format_job(queue.get(args.job_id)))
+        return 0
+    finally:
+        queue.close()
+
+
+def _run_result(args) -> int:
+    from repro.errors import JobFailedError, JobStateError
+    from repro.service import SQLiteJobQueue
+
+    queue = SQLiteJobQueue(args.db)
+    try:
+        job = queue.get(args.job_id)
+        if job.state in ("failed", "dead"):
+            raise JobFailedError(
+                f"job {args.job_id} is {job.state}: {job.error}"
+                + (f" [faults: {job.fault_trace}]" if job.fault_trace else ""),
+                error=job.error,
+            )
+        if job.state != "done":
+            raise JobStateError(
+                f"job {args.job_id} has no result yet "
+                f"(state={job.state!r})"
+            )
+        print(job.result_json)
+        if args.explain and job.explain:
+            print(job.explain, file=sys.stderr)
+        return 0
+    finally:
+        queue.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
             "Moving-object aggregation (Kuijpers & Vaisman, ICDE 2007): "
-            "run the Figure 1 demo or inspect a MOFT CSV dump."
+            "run the Figure 1 demo, inspect a MOFT CSV dump, or operate "
+            "the durable query service (submit/serve/status/result)."
         ),
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("demo", help="render Figure 1 and run the Remark 1 query")
     info = sub.add_parser("info", help="summarize a MOFT CSV file")
     info.add_argument("path", help="path to a MOFT CSV (oid,t,x,y header)")
+
+    submit = sub.add_parser(
+        "submit", help="enqueue a query into a durable job queue"
+    )
+    submit.add_argument("--db", required=True, help="job queue SQLite file")
+    submit.add_argument(
+        "query", nargs="?", help="a Piet-QL query string to enqueue"
+    )
+    submit.add_argument(
+        "--through",
+        metavar="LAYER:KIND",
+        help="builder-API count: target geometries (e.g. Ln:polygon)",
+    )
+    submit.add_argument(
+        "--constraint",
+        action="append",
+        default=[],
+        metavar="REL:LAYER:KIND",
+        help="constraint on the target (repeatable), "
+        "e.g. intersects:Lr:polyline",
+    )
+    submit.add_argument(
+        "--moft", default="FM", help="MOFT name for --through (default FM)"
+    )
+    submit.add_argument(
+        "--window", metavar="START:END", help="time window for --through"
+    )
+    submit.add_argument(
+        "--client", default="cli", help="client id for admission control"
+    )
+    submit.add_argument(
+        "--max-depth", type=int, default=1024,
+        help="admission cap: max queued jobs (default 1024)",
+    )
+    submit.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission cap: max in-flight jobs per client (default 64)",
+    )
+    submit.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts granted on retryable failures (default 2)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run a worker pool over a durable job queue"
+    )
+    serve.add_argument("--db", required=True, help="job queue SQLite file")
+    serve.add_argument(
+        "--world", default="fig1", choices=("fig1", "synth"),
+        help="evaluation world queries run against (default fig1)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default 2)"
+    )
+    serve.add_argument(
+        "--lease", type=float, default=30.0,
+        help="claim visibility timeout in seconds (default 30)",
+    )
+    serve.add_argument(
+        "--backend", default="serial",
+        choices=("serial", "threads", "processes"),
+        help="sharded-executor backend jobs run with (default serial)",
+    )
+    serve.add_argument(
+        "--drain", action="store_true",
+        help="process everything queued, then exit",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--drain timeout in seconds (default 300)",
+    )
+
+    status = sub.add_parser("status", help="show one job's record")
+    status.add_argument("--db", required=True, help="job queue SQLite file")
+    status.add_argument("job_id", help="the job id printed by submit")
+
+    result = sub.add_parser(
+        "result", help="print a done job's canonical result JSON"
+    )
+    result.add_argument("--db", required=True, help="job queue SQLite file")
+    result.add_argument("job_id", help="the job id printed by submit")
+    result.add_argument(
+        "--explain", action="store_true",
+        help="also print the stored EXPLAIN plan to stderr",
+    )
     return parser
 
 
@@ -104,6 +383,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "info":
             return _run_info(args.path)
+        if args.command == "submit":
+            return _run_submit(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "status":
+            return _run_status(args)
+        if args.command == "result":
+            return _run_result(args)
         return _run_demo()
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -67,6 +67,70 @@ class PreAggError(ReproError):
     """A pre-aggregation store cannot be built, updated or queried."""
 
 
+class ServiceError(ReproError):
+    """Base class for query-service failures (:mod:`repro.service`)."""
+
+
+class AdmissionError(ServiceError):
+    """A submission was rejected before it reached the job queue.
+
+    Subclasses say *why*; the service CLI maps every admission rejection
+    to exit status 2 with a single ``error: ...`` line, same as any
+    other typed failure.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """The queue's depth cap is reached; the submission was not enqueued."""
+
+
+class ClientThrottledError(AdmissionError):
+    """The submitting client hit its per-client in-flight job cap."""
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in the queue."""
+
+
+class JobStateError(ServiceError):
+    """The job exists but is in the wrong state for the operation.
+
+    E.g. asking for the result of a still-queued job, or cancelling a
+    job that a worker already claimed.
+    """
+
+
+class LeaseLostError(ServiceError):
+    """A worker tried to act on a job whose lease it no longer holds.
+
+    Raised when a worker reports completion or failure for a job that
+    the lease reaper already re-queued (and possibly another worker
+    re-claimed).  The late worker's result is discarded — exactly-one
+    recorded outcome per attempt chain is the claim-uniqueness
+    guarantee.
+    """
+
+
+class JobFailedError(ServiceError):
+    """A terminal ``failed``/``dead`` job's result was requested.
+
+    Attributes
+    ----------
+    error:
+        The recorded failure message of the job's last attempt.
+    faults:
+        The injected-fault trace recorded on the job (empty outside
+        fault-injection tests), as human-readable strings.
+    """
+
+    def __init__(
+        self, message: str, error: "str | None" = None, faults: tuple = ()
+    ) -> None:
+        super().__init__(message)
+        self.error = error
+        self.faults = tuple(faults)
+
+
 class ShardExecutionError(EvaluationError):
     """A sharded query could not produce a verified-complete result.
 

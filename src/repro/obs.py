@@ -56,13 +56,31 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
     .matching_objects` call adds the scanned table's length); the
     cost-based planner reads this back as a plan node's *actual rows*.
 
+``jobs_submitted`` / ``jobs_rejected`` / ``jobs_claimed`` /
+``jobs_completed`` / ``jobs_failed`` / ``jobs_dead`` /
+``jobs_cancelled`` / ``jobs_requeued`` / ``jobs_reclaimed`` /
+``worker_crashes``
+    The query service layer (:mod:`repro.service`): submissions accepted
+    into the queue, submissions bounced by admission control, claims
+    handed to workers, terminal outcomes by kind, failed attempts put
+    back on the queue for retry, expired leases released by the reaper,
+    and workers killed mid-job by an injected fault.
+``queue_depth`` / ``jobs_in_flight`` / ``workers_busy``
+    Service *gauges* (set via :meth:`PipelineStats.gauge`, not summed):
+    currently queued jobs, jobs anywhere between submit and a terminal
+    state, and workers currently executing a claim.
+
 Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``;
 the sharded executor adds ``shard_fanout`` (dispatch-to-last-result wall
 time), ``shard_scan`` (per-shard work, one call per shard, summed across
 shards), ``merge``, and ``retry_backoff`` (deterministic backoff sleeps
 between retry rounds); the pre-aggregation layer adds ``preagg_build``,
 ``preagg_update`` (store maintenance) and ``preagg_lookup`` (planner
-routing + cell reads).
+routing + cell reads); the query service adds ``service_queue_wait``
+(submit-to-claim latency, one call per claim), ``service_run``
+(claim-to-outcome execution wall time, one call per finished attempt)
+and ``worker_idle`` (poll sleeps of workers with nothing to claim —
+utilization is ``service_run / (service_run + worker_idle)``).
 
 Thread safety: counters and stage timers are mutated from worker threads
 by the ``threads`` backend of :mod:`repro.parallel`, so every read-modify-
@@ -135,6 +153,19 @@ class PipelineStats:
     def count(self, name: str) -> int:
         """Current value of a named counter (0 if never incremented)."""
         return self.counters.get(name, 0)
+
+    def gauge(self, name: str, value: int) -> int:
+        """Set a named counter to a point-in-time value (atomic).
+
+        Gauges share the counter namespace but are *set*, not summed —
+        the query service keeps ``queue_depth`` / ``jobs_in_flight`` /
+        ``workers_busy`` current this way.  Do not :meth:`merge` stats
+        objects that both carry the same gauge: merge adds.
+        """
+        with self._lock:
+            value = int(value)
+            self.counters[name] = value
+            return value
 
     # -- timers --------------------------------------------------------------
 

@@ -1,0 +1,102 @@
+"""Named evaluation worlds a service instance binds to.
+
+A job stores *what* to compute; the service process decides *against
+which data*.  A :class:`ServiceWorld` bundles the evaluation context
+with the Piet-QL layer bindings queries resolve against, and
+:func:`load_world` builds the two canonical worlds by name:
+
+* ``fig1`` — the paper's exact Figure 1 / Table 1 instance (MOFT
+  ``FMbus``; tiny, answers checkable by eye) — the default for the CLI;
+* ``synth`` — the 6×6-block synthetic city with the 10,000-sample
+  random-waypoint MOFT the differential suites use, generated from
+  fixed seeds so every process that loads it sees the same bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, Tuple
+
+from repro.errors import ServiceError
+from repro.pietql.executor import LayerBinding
+from repro.query.region import EvaluationContext
+
+#: World names :func:`load_world` accepts.
+WORLD_NAMES: Tuple[str, ...] = ("fig1", "synth")
+
+#: Piet-QL layer bindings of the Figure 1 instance.
+FIG1_BINDINGS: Dict[str, LayerBinding] = {
+    "neighborhoods": LayerBinding("Ln", "polygon"),
+    "rivers": LayerBinding("Lr", "polyline"),
+    "schools": LayerBinding("Ls", "node"),
+}
+
+#: Piet-QL layer bindings of the synthetic city.
+SYNTH_BINDINGS: Dict[str, LayerBinding] = {
+    "cities": LayerBinding("Lc", "polygon"),
+    "neighborhoods": LayerBinding("Ln", "polygon"),
+    "rivers": LayerBinding("Lr", "polyline"),
+    "stores": LayerBinding("Lsto", "node"),
+    "schools": LayerBinding("Ls", "node"),
+}
+
+
+@dataclass
+class ServiceWorld:
+    """An evaluation context plus the bindings queries resolve against."""
+
+    name: str
+    context: EvaluationContext
+    bindings: Dict[str, LayerBinding] = field(default_factory=dict)
+
+
+def load_world(name: str = "fig1") -> ServiceWorld:
+    """Build one of the named worlds (deterministic per name)."""
+    if name == "fig1":
+        from repro.synth import figure1_instance
+
+        return ServiceWorld(
+            name="fig1",
+            context=figure1_instance().context(),
+            bindings=dict(FIG1_BINDINGS),
+        )
+    if name == "synth":
+        import numpy as np
+
+        from repro.synth import CityConfig, build_city
+        from repro.synth.movement import random_waypoint_moft
+        from repro.temporal.calendar import hourly
+        from repro.temporal.timedim import TimeDimension
+
+        city = build_city(
+            CityConfig(cols=6, rows=6), rng=np.random.default_rng(20060109)
+        )
+        n_instants = 100
+        moft = random_waypoint_moft(
+            city.bounding_box,
+            n_objects=100,
+            n_instants=n_instants,
+            speed=city.config.block_size / 2,
+            rng=np.random.default_rng(42),
+        )
+        time_dim = TimeDimension.from_mapping(
+            hourly(datetime(2006, 1, 9, 0, 0)), range(n_instants)
+        )
+        return ServiceWorld(
+            name="synth",
+            context=EvaluationContext(city.gis, time_dim, moft),
+            bindings=dict(SYNTH_BINDINGS),
+        )
+    raise ServiceError(
+        f"unknown world {name!r}; expected one of {WORLD_NAMES}"
+    )
+
+
+__all__ = [
+    "FIG1_BINDINGS",
+    "SYNTH_BINDINGS",
+    "WORLD_NAMES",
+    "ServiceWorld",
+    "load_world",
+]

@@ -1,0 +1,275 @@
+"""Crash-recovery chaos suite for the query service.
+
+Every test injects worker death (or failure) via a fixed-seed
+:class:`~repro.faults.FaultPlan` and drives workers *synchronously*
+(:meth:`~repro.service.worker.Worker.step`) against a queue on a
+:class:`~tests.service.conftest.FakeClock`, so recovery is deterministic:
+no sleeps, no thread races — a crash is a recorded fact, lease expiry is
+a clock advance, and the final answer is compared byte-for-byte against
+the serial oracle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JobFailedError
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import PipelineStats
+from repro.query.evaluator import count_objects_through
+from repro.service import (
+    QueryService,
+    SQLiteJobQueue,
+    Worker,
+    canonical_json,
+    execute_spec,
+)
+
+from tests.service.conftest import (
+    FIG1_CONSTRAINTS,
+    FIG1_SPEC,
+    FIG1_TARGET,
+    FakeClock,
+)
+
+pytestmark = [pytest.mark.faults, pytest.mark.service]
+
+
+@pytest.fixture
+def sqlite_queue(tmp_path, clock):
+    queue = SQLiteJobQueue(str(tmp_path / "chaos.db"), clock=clock)
+    yield queue
+    queue.close()
+
+
+@pytest.fixture(scope="module")
+def serial_answer(fig1_context) -> str:
+    """The serial oracle's answer, in the service's canonical encoding."""
+    count = count_objects_through(
+        fig1_context, FIG1_TARGET, FIG1_CONSTRAINTS, moft_name="FMbus"
+    )
+    assert count == 5  # Remark 1 of the paper
+    return canonical_json({"count": count, "kind": "through"})
+
+
+class TestCrashRecovery:
+    def test_killed_worker_lease_expires_and_job_is_reclaimed(
+        self, sqlite_queue, clock, fig1_service_world, serial_answer
+    ):
+        """The tentpole scenario: crash → lease expiry → re-claim →
+        byte-identical answer."""
+        obs = PipelineStats()
+        sqlite_queue.obs = obs
+        # Job seq 1 = task index 0; crash its first attempt.
+        plan = FaultPlan.single("drop", task_index=0, attempt=0)
+        victim = Worker(
+            sqlite_queue, fig1_service_world, worker_id="victim",
+            lease_s=10.0, fault_plan=plan, obs=obs,
+        )
+        rescuer = Worker(
+            sqlite_queue, fig1_service_world, worker_id="rescuer",
+            lease_s=10.0, fault_plan=plan, obs=obs,
+        )
+        job = sqlite_queue.enqueue(FIG1_SPEC, max_retries=2)
+
+        # The victim claims, crashes mid-job, reports nothing.
+        abandoned = victim.step()
+        assert abandoned.state == "claimed"
+        assert abandoned.worker_id == "victim"
+        assert abandoned.fault_trace == "drop(task=0, attempt=0)"
+        assert obs.counters["worker_crashes"] == 1
+
+        # Before the lease expires the job is untouchable: the rescuer
+        # finds nothing queued and the reaper releases nothing.
+        assert rescuer.step() is None
+        assert sqlite_queue.release_expired() == []
+
+        # Lease expiry re-queues it, crediting the crash to the budget.
+        clock.advance(11.0)
+        released = sqlite_queue.release_expired()
+        assert [j.state for j in released] == ["queued"]
+        assert "presumed dead" in released[0].error
+        assert obs.counters["jobs_reclaimed"] == 1
+
+        # The rescuer re-claims and finishes; answer == serial oracle,
+        # byte for byte, with the crash still on the record.
+        done = rescuer.step()
+        assert done.state == "done"
+        assert done.worker_id == "rescuer"
+        assert done.attempts == 2
+        assert done.result_json == serial_answer
+        assert done.fault_trace == "drop(task=0, attempt=0)"
+        assert json.loads(done.metrics_json)["retries"] == 1
+
+        # Durability: a fresh connection sees the same final record.
+        reopened = SQLiteJobQueue(sqlite_queue.path, clock=clock)
+        try:
+            persisted = reopened.get(job.job_id)
+            assert persisted.state == "done"
+            assert persisted.result_json == serial_answer
+        finally:
+            reopened.close()
+
+    def test_repeated_crashes_exhaust_retries_into_dead(
+        self, sqlite_queue, clock, fig1_service_world
+    ):
+        """Retries exhausted → ``dead``, failure + fault trace retrievable."""
+        obs = PipelineStats()
+        sqlite_queue.obs = obs
+        # Crash every attempt of task 0.
+        plan = FaultPlan(
+            [FaultSpec("drop", 0, attempt) for attempt in range(4)]
+        )
+        worker = Worker(
+            sqlite_queue, fig1_service_world, worker_id="crasher",
+            lease_s=5.0, fault_plan=plan, obs=obs,
+        )
+        job = sqlite_queue.enqueue(FIG1_SPEC, max_retries=1)
+
+        for _ in range(2):  # attempts 1 and 2: crash, expire, release
+            assert worker.step().state == "claimed"
+            clock.advance(6.0)
+            sqlite_queue.release_expired()
+
+        dead = sqlite_queue.get(job.job_id)
+        assert dead.state == "dead"
+        assert dead.attempts == 2
+        assert "lease expired" in dead.error
+        assert dead.fault_trace == (
+            "drop(task=0, attempt=0); drop(task=0, attempt=1)"
+        )
+        assert obs.counters["worker_crashes"] == 2
+        assert obs.counters["jobs_dead"] == 1
+
+        # The failure record is retrievable through the service API.
+        service = QueryService(fig1_service_world, queue=sqlite_queue)
+        with pytest.raises(JobFailedError) as excinfo:
+            service.result(job.job_id)
+        assert "lease expired" in str(excinfo.value)
+        assert excinfo.value.faults == (
+            "drop(task=0, attempt=0)",
+            "drop(task=0, attempt=1)",
+        )
+
+    def test_raise_fault_is_retried_to_success(
+        self, sqlite_queue, clock, fig1_service_world, serial_answer
+    ):
+        """A ``raise`` fault is a reported (not abandoned) retryable
+        failure: the job re-queues immediately, no lease wait needed."""
+        plan = FaultPlan.single("raise", task_index=0, attempt=0)
+        worker = Worker(
+            sqlite_queue, fig1_service_world, worker_id="w0",
+            fault_plan=plan,
+        )
+        job = sqlite_queue.enqueue(FIG1_SPEC, max_retries=1)
+
+        requeued = worker.step()
+        assert requeued.state == "queued"
+        assert "FaultInjected" in requeued.error
+
+        done = worker.step()
+        assert done.state == "done"
+        assert done.result_json == serial_answer
+        assert done.attempts == 2
+        assert sqlite_queue.get(job.job_id).fault_trace == (
+            "raise(task=0, attempt=0)"
+        )
+
+    def test_truncate_fault_also_crashes_the_worker(
+        self, sqlite_queue, clock, fig1_service_world
+    ):
+        plan = FaultPlan.single("truncate", task_index=0, attempt=0)
+        worker = Worker(
+            sqlite_queue, fig1_service_world, worker_id="w0",
+            lease_s=5.0, fault_plan=plan,
+        )
+        sqlite_queue.enqueue(FIG1_SPEC, max_retries=0)
+        abandoned = worker.step()
+        assert abandoned.state == "claimed"
+        clock.advance(6.0)
+        # Budget of zero: the expired lease kills the job outright.
+        assert sqlite_queue.release_expired()[0].state == "dead"
+
+
+class TestSeededChaosSweep:
+    """A seeded random fault storm against a batch of jobs.
+
+    The exact-or-error contract, service edition: after the storm every
+    job is either ``done`` with the byte-identical serial answer or
+    terminally failed with a recorded error — never silently wrong.
+    """
+
+    @pytest.mark.parametrize("seed", [7, 20060109])
+    def test_storm_yields_exact_answers_or_recorded_deaths(
+        self, tmp_path, clock, fig1_service_world, serial_answer, seed
+    ):
+        n_jobs = 6
+        queue = SQLiteJobQueue(
+            str(tmp_path / f"storm{seed}.db"), clock=clock
+        )
+        try:
+            plan = FaultPlan.random(
+                n_tasks=n_jobs, max_attempts=3, rate=0.4, seed=seed,
+                kinds=("drop", "raise"),
+            )
+            workers = [
+                Worker(
+                    queue, fig1_service_world, worker_id=f"w{i}",
+                    lease_s=5.0, fault_plan=plan,
+                )
+                for i in range(3)
+            ]
+            for _ in range(n_jobs):
+                queue.enqueue(FIG1_SPEC, max_retries=2)
+
+            # Round-robin the workers; advance the clock between rounds
+            # so abandoned leases expire and get reaped.
+            for _ in range(24):
+                if queue.active() == 0:
+                    break
+                for worker in workers:
+                    worker.step()
+                clock.advance(6.0)
+                queue.release_expired()
+            assert queue.active() == 0
+
+            counts = queue.counts()
+            assert counts["done"] + counts["dead"] == n_jobs
+            for i in range(1, n_jobs + 1):
+                job = queue.get(f"J{i:06d}")
+                if job.state == "done":
+                    assert job.result_json == serial_answer
+                else:
+                    assert job.error  # a dead job carries its cause
+        finally:
+            queue.close()
+
+
+class TestFaultPlanThroughService:
+    def test_service_level_fault_plan_recovers_end_to_end(
+        self, fig1_service_world, serial_answer
+    ):
+        """Threaded pool + real clock: a raise-fault on the first attempt
+        still converges to the exact answer via the retry path."""
+        plan = FaultPlan.single("raise", task_index=0, attempt=0)
+        with QueryService(
+            fig1_service_world, n_workers=2, fault_plan=plan,
+            max_retries=2, lease_s=30.0,
+        ) as service:
+            job_id = service.submit(FIG1_SPEC)
+            job = service.wait(job_id, timeout=30.0)
+        assert job.state == "done"
+        assert service.result(job_id) == json.loads(serial_answer)
+        assert service.status(job_id).attempts == 2
+        assert service.metrics()["fault_injected"] == 1
+
+
+class TestExecuteSpecParity:
+    def test_execute_spec_matches_plain_evaluator(
+        self, fig1_service_world, serial_answer
+    ):
+        result_json, explain = execute_spec(FIG1_SPEC, fig1_service_world)
+        assert result_json == serial_answer
+        assert "QueryPlan" in explain

@@ -1,0 +1,53 @@
+"""Named service worlds: deterministic construction by name."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import QuerySpec, execute_spec, load_world
+from repro.service.worlds import WORLD_NAMES
+
+pytestmark = pytest.mark.service
+
+
+def test_fig1_world_answers_the_running_example():
+    world = load_world("fig1")
+    assert world.name == "fig1"
+    assert set(world.bindings) == {"neighborhoods", "rivers", "schools"}
+    result_json, explain = execute_spec(
+        QuerySpec.through(
+            ("Ln", "polygon"),
+            [
+                ("intersects", ("Lr", "polyline")),
+                ("contains", ("Ls", "node")),
+            ],
+            moft_name="FMbus",
+        ),
+        world,
+    )
+    assert result_json == '{"count":5,"kind":"through"}'
+    assert "QueryPlan" in explain
+
+
+def test_synth_world_is_deterministic_per_name():
+    first = load_world("synth")
+    again = load_world("synth")
+    assert first.name == "synth"
+    assert "stores" in first.bindings
+    moft = first.context.moft("FM")
+    assert len(moft) == 10_000
+    # Fixed seeds: two loads see the same bits.
+    assert moft.as_arrays()[1].tolist() == (
+        again.context.moft("FM").as_arrays()[1].tolist()
+    )
+
+
+def test_default_world_is_fig1():
+    assert load_world().name == "fig1"
+
+
+def test_unknown_world_is_a_typed_error():
+    with pytest.raises(ServiceError, match="unknown world"):
+        load_world("atlantis")
+    assert "atlantis" not in WORLD_NAMES

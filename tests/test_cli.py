@@ -101,3 +101,154 @@ class TestInfo:
         assert result.returncode == 2
         assert result.stderr.startswith("error: ")
         assert "Traceback" not in result.stderr
+
+
+class TestServiceVerbsSubprocess:
+    """submit → serve --drain → status → result as real processes.
+
+    The durable queue file is the hand-off: the submit process exits
+    before the serve process starts, so this is the cross-process
+    contract itself under test, not a convenience wrapper.
+    """
+
+    def test_full_job_lifecycle_across_processes(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        submitted = run_cli(
+            "submit", "--db", db,
+            "--through", "Ln:polygon",
+            "--constraint", "intersects:Lr:polyline",
+            "--constraint", "contains:Ls:node",
+            "--moft", "FMbus",
+        )
+        assert submitted.returncode == 0
+        job_id = submitted.stdout.strip()
+        assert job_id == "J000001"
+        assert "queued" in submitted.stderr
+
+        served = run_cli("serve", "--db", db, "--drain", "--workers", "2")
+        assert served.returncode == 0
+        assert "done=1" in served.stdout
+
+        status = run_cli("status", "--db", db, job_id)
+        assert status.returncode == 0
+        assert f"job {job_id}: done" in status.stdout
+        assert "attempts: 1" in status.stdout
+
+        result = run_cli("result", "--db", db, job_id, "--explain")
+        assert result.returncode == 0
+        assert result.stdout.strip() == '{"count":5,"kind":"through"}'
+        assert "QueryPlan" in result.stderr
+
+    def test_pietql_submission_round_trip(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        submitted = run_cli(
+            "submit", "--db", db,
+            "SELECT layer.schools FROM Fig1",
+        )
+        assert submitted.returncode == 0
+        job_id = submitted.stdout.strip()
+        assert run_cli("serve", "--db", db, "--drain").returncode == 0
+        result = run_cli("result", "--db", db, job_id)
+        assert result.returncode == 0
+        assert '"kind":"pietql"' in result.stdout
+        assert "nd_school_north" in result.stdout
+
+    def test_unknown_job_id_exits_2(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        run_cli("submit", "--db", db, "--through", "Ln:polygon")
+        for verb in ("status", "result"):
+            proc = run_cli(verb, "--db", db, "J999999")
+            assert proc.returncode == 2
+            assert proc.stderr.startswith("error: ")
+            assert "Traceback" not in proc.stderr
+
+    def test_rejected_admission_exits_2(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        first = run_cli(
+            "submit", "--db", db, "--max-depth", "1",
+            "--through", "Ln:polygon",
+        )
+        assert first.returncode == 0
+        second = run_cli(
+            "submit", "--db", db, "--max-depth", "1",
+            "--through", "Ln:polygon",
+        )
+        assert second.returncode == 2
+        assert second.stderr.startswith("error: queue is full")
+        assert "Traceback" not in second.stderr
+        assert second.stdout == ""
+
+    def test_pending_result_exits_2(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        job_id = run_cli(
+            "submit", "--db", db, "--through", "Ln:polygon"
+        ).stdout.strip()
+        proc = run_cli("result", "--db", db, job_id)
+        assert proc.returncode == 2
+        assert "no result yet" in proc.stderr
+
+    def test_malformed_spec_arguments_exit_2(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        for args in (
+            ["--through", "not-layer-kind"],
+            ["--through", "Ln:polygon", "--constraint", "bad"],
+            ["--through", "Ln:polygon", "--window", "a:b"],
+            ["--through", "Ln:polygon", "SELECT both FROM given"],
+            [],  # nothing to submit at all
+        ):
+            proc = run_cli("submit", "--db", db, *args)
+            assert proc.returncode == 2, args
+            assert proc.stderr.startswith("error: ")
+            assert "Traceback" not in proc.stderr
+
+
+class TestServiceVerbsInProcess:
+    """The same verbs through main([...]) — fast, and measured by
+    coverage (subprocesses are not)."""
+
+    @pytest.fixture()
+    def main(self):
+        from repro.__main__ import main as cli_main
+
+        return cli_main
+
+    def test_lifecycle_in_process(self, tmp_path, main, capsys):
+        db = str(tmp_path / "jobs.db")
+        assert main([
+            "submit", "--db", db,
+            "--through", "Ln:polygon",
+            "--constraint", "intersects:Lr:polyline",
+            "--constraint", "contains:Ls:node",
+            "--moft", "FMbus",
+            "--window", "0:9",
+        ]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert main(["serve", "--db", db, "--drain"]) == 0
+        assert main(["status", "--db", db, job_id]) == 0
+        assert f"job {job_id}: done" in capsys.readouterr().out
+        assert main(["result", "--db", db, job_id, "--explain"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == '{"count":5,"kind":"through"}'
+        assert "QueryPlan" in captured.err
+
+    def test_failed_job_result_reports_error(self, tmp_path, main, capsys):
+        db = str(tmp_path / "jobs.db")
+        assert main(["submit", "--db", db, "SELECT !! nonsense"]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert main(["serve", "--db", db, "--drain"]) == 0
+        assert main(["status", "--db", db, job_id]) == 0
+        assert "failed" in capsys.readouterr().out
+        assert main(["result", "--db", db, job_id]) == 2
+        assert "error: job" in capsys.readouterr().err
+
+    def test_throttled_client_in_process(self, tmp_path, main, capsys):
+        db = str(tmp_path / "jobs.db")
+        assert main([
+            "submit", "--db", db, "--max-inflight", "1",
+            "--client", "alice", "--through", "Ln:polygon",
+        ]) == 0
+        assert main([
+            "submit", "--db", db, "--max-inflight", "1",
+            "--client", "alice", "--through", "Ln:polygon",
+        ]) == 2
+        assert "in flight" in capsys.readouterr().err
