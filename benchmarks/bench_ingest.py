@@ -1,0 +1,204 @@
+"""E22 — Streaming ingest throughput: sustained samples/sec with live readers.
+
+One writer streams the 2,000-sample synthetic schedule through the
+watermarked ingestor while reader threads continuously pin snapshots
+and run the Section 5 count query against them — the MVCC promise
+(readers never block, never tear) exercised as a throughput question:
+
+* **ingest rate** — samples/sec sealed, folded and published, per
+  lateness budget (zero lateness seals per batch; a budget buffers);
+* **read rate** — queries/sec served from pinned snapshots while the
+  writer publishes and compacts behind them.
+
+Every run asserts exactness before it reports a number: the final
+snapshot holds exactly the accepted samples and answers the count
+query identically to a one-shot batch load — a throughput table
+without that check would happily report a fast writer that loses rows.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table
+from repro.gis import POLYGON
+from repro.ingest import IngestConfig, StoreSpec, StreamingIngestor
+from repro.mo.moft import MOFT
+from repro.query.evaluator import count_objects_through
+from repro.query.region import EvaluationContext
+from repro.synth import CityConfig, build_city
+from repro.synth.movement import random_waypoint_moft
+from repro.temporal.calendar import hourly
+from repro.temporal.timedim import TimeDimension
+
+TARGET = ("Ln", POLYGON)
+BATCH = 100
+
+
+@pytest.fixture(scope="module")
+def world():
+    city = build_city(
+        CityConfig(cols=4, rows=4), rng=np.random.default_rng(11)
+    )
+    moft = random_waypoint_moft(
+        city.bounding_box,
+        n_objects=40,
+        n_instants=50,
+        speed=city.config.block_size / 2,
+        rng=np.random.default_rng(5),
+    )
+    time_dim = TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(50)
+    )
+    oids = moft.oid_column()
+    t, x, y = moft.as_arrays()
+    samples = [
+        (oids[i], float(t[i]), float(x[i]), float(y[i]))
+        for i in range(len(moft))
+    ]
+    return city.gis, time_dim, samples
+
+
+def stream_once(gis, time_dim, samples, *, lateness, n_readers, ordered=True):
+    """One writer run with live readers; returns the measured rates."""
+    if ordered:
+        schedule = sorted(samples, key=lambda s: (s[1], repr(s[0])))
+    else:
+        schedule = list(samples)
+    ingestor = StreamingIngestor(
+        gis,
+        time_dim,
+        config=IngestConfig(allowed_lateness=lateness, compact_every=4),
+        store_specs=(StoreSpec("day", "Ln", POLYGON),),
+    )
+    stop = threading.Event()
+    reads = [0] * n_readers
+    read_errors = []
+
+    def reader(slot: int) -> None:
+        try:
+            while not stop.is_set():
+                context = ingestor.snapshot().context()
+                count_objects_through(context, TARGET, [], moft_name="FM")
+                reads[slot] += 1
+        except Exception as exc:  # pragma: no cover - failure detail
+            read_errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,))
+        for slot in range(n_readers)
+    ]
+    for thread in threads:
+        thread.start()
+    start = time.perf_counter()
+    try:
+        for i in range(0, len(schedule), BATCH):
+            rows = schedule[i:i + BATCH]
+            ingestor.submit(
+                [s[0] for s in rows],
+                [s[1] for s in rows],
+                [s[2] for s in rows],
+                [s[3] for s in rows],
+            )
+        final = ingestor.close()
+    finally:
+        elapsed = time.perf_counter() - start
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert read_errors == []
+
+    # Exactness gate: the final snapshot holds exactly the accepted
+    # samples and answers like a one-shot batch load of them.
+    counters = ingestor.obs.counters
+    assert (
+        counters["samples_ingested"] + counters.get("samples_late", 0)
+        == len(samples)
+    )
+    assert final.rows == counters["samples_ingested"]
+    late = {(oid, t) for oid, t, _, _ in ingestor.late_samples()}
+    accepted = [s for s in samples if (s[0], s[1]) not in late]
+    reference = MOFT.from_columns(
+        [s[0] for s in accepted],
+        [s[1] for s in accepted],
+        [s[2] for s in accepted],
+        [s[3] for s in accepted],
+        name="FM",
+    ) if accepted else MOFT("FM")
+    expected = count_objects_through(
+        EvaluationContext(gis, time_dim, reference),
+        TARGET, [], moft_name="FM", use_preagg=False,
+    )
+    got = count_objects_through(
+        final.context(), TARGET, [], moft_name="FM", use_preagg=False
+    )
+    assert got == expected, f"ingest diverged: {got} != {expected}"
+
+    return {
+        "ingested": final.rows,
+        "seconds": elapsed,
+        "samples_per_s": final.rows / elapsed,
+        "queries": sum(reads),
+        "queries_per_s": sum(reads) / elapsed,
+        "compactions": counters.get("compactions", 0),
+    }
+
+
+def test_sustained_ingest_with_concurrent_readers(world):
+    """The headline table: ingest rate vs lateness budget and reader load."""
+    gis, time_dim, samples = world
+    rows = []
+    for lateness in (0.0, 5.0):
+        for n_readers in (0, 2):
+            run = stream_once(
+                gis, time_dim, samples,
+                lateness=lateness, n_readers=n_readers,
+            )
+            rows.append(
+                (
+                    f"lateness={lateness:g}, {n_readers} reader(s)",
+                    f"{run['ingested']}",
+                    f"{run['seconds']:.3f}",
+                    f"{run['samples_per_s']:.0f}",
+                    f"{run['queries']}",
+                    f"{run['queries_per_s']:.0f}",
+                    f"{run['compactions']}",
+                )
+            )
+    print_table(
+        f"streaming ingest, {len(samples)} samples in batches of {BATCH}",
+        [
+            "configuration", "ingested", "seconds", "samples/s",
+            "queries", "queries/s", "compactions",
+        ],
+        rows,
+    )
+
+
+def test_shuffled_schedule_throughput(world):
+    """Disorderly arrival: a shuffled schedule with a lateness budget —
+    the rate the watermark machinery sustains when nothing is sorted."""
+    gis, time_dim, samples = world
+    shuffled = list(samples)
+    random.Random(7).shuffle(shuffled)
+    run = stream_once(
+        gis, time_dim, shuffled, lateness=10.0, n_readers=1, ordered=False
+    )
+    print_table(
+        "shuffled schedule, lateness budget 10",
+        ["ingested", "seconds", "samples/s", "queries/s"],
+        [
+            (
+                f"{run['ingested']}",
+                f"{run['seconds']:.3f}",
+                f"{run['samples_per_s']:.0f}",
+                f"{run['queries_per_s']:.0f}",
+            )
+        ],
+    )

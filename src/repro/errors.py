@@ -67,6 +67,17 @@ class PreAggError(ReproError):
     """A pre-aggregation store cannot be built, updated or queried."""
 
 
+class IngestError(ReproError):
+    """A streaming-ingest submission or snapshot operation is invalid.
+
+    Raised by :mod:`repro.ingest` for malformed sample batches (ragged
+    columns, unregistered instants, duplicate ``(oid, t)`` pairs within
+    the accepted stream) and for misuse of the version chain (e.g.
+    publishing an empty segment).  Late-beyond-watermark samples are
+    *not* errors — they are routed to the side channel and counted.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for query-service failures (:mod:`repro.service`)."""
 

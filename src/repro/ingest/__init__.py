@@ -1,0 +1,31 @@
+"""Streaming ingestion: watermarked writes over an MVCC snapshot chain.
+
+See ``docs/ingest.md`` for the full semantics.  The public surface:
+
+* :class:`VersionedMoft` / :class:`MoftSnapshot` — the immutable
+  version chain of the columnar fact table;
+* :class:`StreamingIngestor` — the watermark-driven writer, with
+  :class:`IngestConfig` (allowed lateness, compaction cadence),
+  :class:`StoreSpec` (which pre-agg stores to maintain) and
+  :class:`IngestSnapshot` (what readers pin);
+* :class:`IngestReport` — the per-batch accounting ``submit`` returns.
+"""
+
+from repro.ingest.ingestor import (
+    IngestConfig,
+    IngestReport,
+    IngestSnapshot,
+    StoreSpec,
+    StreamingIngestor,
+)
+from repro.ingest.versioned import MoftSnapshot, VersionedMoft
+
+__all__ = [
+    "IngestConfig",
+    "IngestReport",
+    "IngestSnapshot",
+    "MoftSnapshot",
+    "StoreSpec",
+    "StreamingIngestor",
+    "VersionedMoft",
+]

@@ -1,0 +1,421 @@
+"""The streaming writer: watermarked batches in, query snapshots out.
+
+:class:`StreamingIngestor` turns out-of-order GPS sample batches into
+the same world a one-shot batch load would have produced — that
+equivalence is the whole contract, pinned by the differential campaign
+in ``tests/ingest``.  The moving parts:
+
+**Watermark.**  ``watermark = max event time seen − allowed_lateness``,
+monotone by construction.  A sample is *late* when it arrives at or
+below the watermark computed from *previously* submitted batches (one
+batch can therefore span any time range without marking itself late).
+Late samples are never silently dropped: they go to a side channel
+(:meth:`StreamingIngestor.late_samples`) and the ``samples_late``
+counter, keeping ``samples_ingested + samples_late + samples_buffered
+== samples_submitted`` exhaustive at every instant.
+
+**Sealing.**  After the watermark advances, every buffered sample with
+``t <= watermark`` is *sealed*: sorted by ``(t, repr(oid))`` into one
+delta segment, published through the :class:`~repro.ingest.versioned
+.VersionedMoft` chain, and folded into cloned pre-agg stores.  Sealed
+regions never reopen — any sample later arriving inside one is late by
+the watermark test above, which is exactly what makes each publish a
+strict per-object time extension and keeps :meth:`~repro.preagg
+.PreAggStore.update` on the pure delta path (no retraction, no
+rebuild; ``tests/ingest/test_watermark_properties.py`` asserts this).
+
+**MVCC maintenance.**  Readers pin :meth:`snapshot` — an immutable
+bundle of (table, folded stores, lazily built
+:class:`~repro.query.region.EvaluationContext`).  The maintainer never
+mutates a published store: it clones copy-on-write
+(:meth:`~repro.preagg.PreAggStore.clone`), repoints the clone at the
+new snapshot table and folds forward, then swaps the snapshot
+reference.  A reader mid-query keeps its pinned version; the planner's
+identity matching (``store.moft is moft``) guarantees the stores it
+routes through describe exactly the table it scans.
+
+**Compaction.**  Every ``compact_every`` flushes the segment chain is
+collapsed into one columnar base (``compaction`` stage,
+``compactions`` counter).  Compaction publishes a row-identical
+snapshot, so it can never change an answer.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import IngestError
+from repro.ingest.versioned import MoftSnapshot, VersionedMoft
+from repro.mo.moft import MOFT
+from repro.obs import PipelineStats
+from repro.preagg import PreAggStore
+from repro.query.region import EvaluationContext
+from repro.temporal.timedim import TimeDimension
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Tuning knobs of one streaming ingestor.
+
+    allowed_lateness:
+        How far (in event-time units) the watermark trails the newest
+        event seen.  ``0.0`` seals every sample as soon as a newer one
+        arrives; larger values buffer more but tolerate more disorder.
+    compact_every:
+        Collapse the segment chain into one base table whenever a flush
+        leaves at least this many segments (``0`` disables background
+        compaction; :meth:`StreamingIngestor.close` still compacts).
+    """
+
+    allowed_lateness: float = 0.0
+    compact_every: int = 8
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.allowed_lateness) or self.allowed_lateness < 0:
+            raise IngestError(
+                f"allowed_lateness must be finite and >= 0, "
+                f"got {self.allowed_lateness!r}"
+            )
+        if self.compact_every < 0:
+            raise IngestError(
+                f"compact_every must be >= 0, got {self.compact_every!r}"
+            )
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """One pre-agg store the ingestor maintains across snapshots."""
+
+    granule_level: str
+    layer: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`StreamingIngestor.submit` call did."""
+
+    submitted: int
+    ingested: int
+    late: int
+    buffered: int
+    watermark: float
+    ordinal: int
+    rows: int
+
+
+class IngestSnapshot:
+    """An immutable queryable version: table + folded stores + context.
+
+    Holding the reference pins the version; :meth:`context` builds (and
+    caches) an :class:`~repro.query.region.EvaluationContext` with the
+    stores registered, so planned queries route through pre-agg exactly
+    as they would against a batch-loaded world.
+    """
+
+    __slots__ = (
+        "ordinal",
+        "watermark",
+        "moft",
+        "stores",
+        "_gis",
+        "_time",
+        "_context",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        ordinal: int,
+        watermark: float,
+        moft: MOFT,
+        stores: Tuple[PreAggStore, ...],
+        gis,
+        time: TimeDimension,
+    ) -> None:
+        self.ordinal = ordinal
+        self.watermark = watermark
+        self.moft = moft
+        self.stores = stores
+        self._gis = gis
+        self._time = time
+        self._context: Optional[EvaluationContext] = None
+        self._lock = threading.Lock()
+
+    @property
+    def rows(self) -> int:
+        return len(self.moft)
+
+    def context(self) -> EvaluationContext:
+        """The evaluation context of this version (built once, cached)."""
+        with self._lock:
+            if self._context is None:
+                context = EvaluationContext(self._gis, self._time, self.moft)
+                for store in self.stores:
+                    context.register_preagg(store)
+                self._context = context
+            return self._context
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestSnapshot(ordinal={self.ordinal}, rows={self.rows}, "
+            f"watermark={self.watermark:g}, stores={len(self.stores)})"
+        )
+
+
+class StreamingIngestor:
+    """Accepts out-of-order sample batches; publishes query snapshots.
+
+    Parameters
+    ----------
+    gis / time:
+        The spatial and temporal dimensions queries evaluate against
+        (shared by every snapshot — only the fact table versions).
+    moft_name:
+        Name of the versioned fact table (what query specs reference).
+    base:
+        Optional pre-loaded MOFT to seed version 0 with (e.g. a
+        historical batch load the stream continues from).
+    config:
+        Watermark and compaction tuning; see :class:`IngestConfig`.
+    store_specs:
+        Pre-agg stores to maintain incrementally across versions, one
+        per ``(granule_level, layer, kind)``.
+    obs:
+        Receives the ingest vocabulary (see :mod:`repro.obs`).
+
+    Thread safety: any number of threads may call :meth:`submit` /
+    :meth:`compact` / :meth:`close` (serialized by an internal lock)
+    while readers call :meth:`snapshot` without blocking.
+    """
+
+    def __init__(
+        self,
+        gis,
+        time: TimeDimension,
+        moft_name: str = "FM",
+        base: Optional[MOFT] = None,
+        config: Optional[IngestConfig] = None,
+        store_specs: Sequence[StoreSpec] = (),
+        obs: Optional[PipelineStats] = None,
+    ) -> None:
+        self.gis = gis
+        self.time = time
+        self.config = config if config is not None else IngestConfig()
+        self.obs = obs if obs is not None else PipelineStats()
+        self.chain = VersionedMoft(moft_name, base=base)
+        self._lock = threading.RLock()
+        # (t, oid, x, y) above the watermark, awaiting their seal.
+        self._buffer: List[Tuple[float, Hashable, float, float]] = []
+        self._late: List[Tuple[Hashable, float, float, float]] = []
+        self._max_t = -math.inf
+        self._watermark = -math.inf
+        self._closed = False
+        self._published = 0
+        head = self.chain.head
+        table = head.table()
+        stores = tuple(
+            PreAggStore(
+                table,
+                time,
+                spec.granule_level,
+                gis.layer(spec.layer).elements(spec.kind),
+                layer=spec.layer,
+                kind=spec.kind,
+                obs=self.obs,
+            )
+            for spec in store_specs
+        )
+        self._snapshot = IngestSnapshot(
+            head.ordinal, self._watermark, table, stores, gis, time
+        )
+        self._count_snapshot(head)
+
+    # -- reader API ----------------------------------------------------------
+
+    def snapshot(self) -> IngestSnapshot:
+        """Pin the current version (atomic reference read, never blocks)."""
+        return self._snapshot
+
+    @property
+    def watermark(self) -> float:
+        return self._watermark
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def late_samples(self) -> Tuple[Tuple[Hashable, float, float, float], ...]:
+        """The side channel: every sample routed late, in arrival order."""
+        with self._lock:
+            return tuple(self._late)
+
+    # -- writer API ----------------------------------------------------------
+
+    def submit(
+        self,
+        oids: Sequence[Hashable],
+        ts: Sequence[float],
+        xs: Sequence[float],
+        ys: Sequence[float],
+    ) -> IngestReport:
+        """Route one batch, advance the watermark, seal what it passed.
+
+        Each sample is routed against the watermark as of the *previous*
+        batches, then the batch's own event times advance it; samples
+        the new watermark passed (this batch's or earlier buffered ones)
+        are sealed into one published delta segment and folded into the
+        cloned stores.  Returns what happened to the batch.
+        """
+        with self._lock:
+            if self._closed:
+                raise IngestError("ingestor is closed; no further batches")
+            n = len(ts)
+            if not (len(oids) == n == len(xs) == len(ys)):
+                raise IngestError(
+                    f"ragged sample batch: {len(oids)}/{n}/{len(xs)}/"
+                    f"{len(ys)} column lengths"
+                )
+            self.obs.incr("ingest_batches")
+            self.obs.incr("samples_submitted", n)
+            late_now = 0
+            batch_max = -math.inf
+            for oid, t, x, y in zip(oids, ts, xs, ys):
+                t, x, y = float(t), float(x), float(y)
+                if not (
+                    math.isfinite(t) and math.isfinite(x) and math.isfinite(y)
+                ):
+                    raise IngestError(
+                        f"non-finite sample ({oid!r}, {t!r}, {x!r}, {y!r})"
+                    )
+                if t <= self._watermark:
+                    self._late.append((oid, t, x, y))
+                    late_now += 1
+                else:
+                    self._buffer.append((t, oid, x, y))
+                    if t > batch_max:
+                        batch_max = t
+            self.obs.incr("samples_late", late_now)
+            if batch_max > self._max_t:
+                self._max_t = batch_max
+            advanced = self._max_t - self.config.allowed_lateness
+            if advanced > self._watermark:
+                self._watermark = advanced
+            sealed = self._flush_locked()
+            self._refresh_gauges()
+            return IngestReport(
+                submitted=n,
+                ingested=sealed,
+                late=late_now,
+                buffered=len(self._buffer),
+                watermark=self._watermark,
+                ordinal=self._snapshot.ordinal,
+                rows=self._snapshot.rows,
+            )
+
+    def compact(self) -> IngestSnapshot:
+        """Collapse the segment chain now (also runs automatically)."""
+        with self._lock:
+            self._compact_locked()
+            self._refresh_gauges()
+            return self._snapshot
+
+    def close(self) -> IngestSnapshot:
+        """End of stream: seal every buffered sample and compact.
+
+        The watermark jumps to the newest event seen, so nothing stays
+        buffered; the final snapshot answers exactly like a one-shot
+        batch load of every accepted sample.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return self._snapshot
+            self._closed = True
+            if self._buffer:
+                self._watermark = max(self._watermark, self._max_t)
+                self._flush_locked()
+            self._compact_locked()
+            self._refresh_gauges()
+            return self._snapshot
+
+    # -- internals (lock held) -----------------------------------------------
+
+    def _flush_locked(self) -> int:
+        """Seal buffered samples the watermark passed; publish the fold."""
+        watermark = self._watermark
+        ready = [s for s in self._buffer if s[0] <= watermark]
+        if not ready:
+            return 0
+        ready.sort(key=lambda s: (s[0], repr(s[1])))
+        with self.obs.stage("ingest_fold"):
+            snap = self.chain.publish(
+                [s[1] for s in ready],
+                [s[0] for s in ready],
+                [s[2] for s in ready],
+                [s[3] for s in ready],
+            )
+            self._fold_and_swap(snap)
+        self._buffer = [s for s in self._buffer if s[0] > watermark]
+        self.obs.incr("samples_ingested", len(ready))
+        self.obs.incr("ingest_flushes")
+        if (
+            self.config.compact_every
+            and len(snap.segments) >= self.config.compact_every
+        ):
+            self._compact_locked()
+        return len(ready)
+
+    def _compact_locked(self) -> None:
+        if len(self.chain.head.segments) <= 1:
+            return
+        with self.obs.stage("compaction"):
+            snap = self.chain.compact()
+            self._fold_and_swap(snap)
+        self.obs.incr("compactions")
+
+    def _fold_and_swap(self, snap: MoftSnapshot) -> None:
+        """Clone stores onto a new snapshot table, fold, swap the bundle."""
+        table = snap.table()
+        stores = tuple(
+            store.clone(moft=table) for store in self._snapshot.stores
+        )
+        for store in stores:
+            store.update()
+        self._snapshot = IngestSnapshot(
+            snap.ordinal, self._watermark, table, stores, self.gis, self.time
+        )
+        self._count_snapshot(snap)
+
+    def _count_snapshot(self, snap: MoftSnapshot) -> None:
+        self._published += 1
+        self.obs.gauge("snapshot_count", self._published)
+        self.obs.gauge("moft_segments", len(snap.segments))
+
+    def _refresh_gauges(self) -> None:
+        self.obs.gauge("samples_buffered", len(self._buffer))
+        lag = (
+            self._max_t - self._watermark
+            if math.isfinite(self._max_t) and math.isfinite(self._watermark)
+            else 0.0
+        )
+        self.obs.gauge("watermark_lag", lag)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingIngestor({self.chain.name!r}, "
+            f"watermark={self._watermark:g}, "
+            f"buffered={len(self._buffer)}, late={len(self._late)}, "
+            f"ordinal={self._snapshot.ordinal})"
+        )
+
+
+__all__ = [
+    "IngestConfig",
+    "IngestReport",
+    "IngestSnapshot",
+    "StoreSpec",
+    "StreamingIngestor",
+]

@@ -1,0 +1,180 @@
+"""Immutable-snapshot MVCC version chain over the columnar MOFT.
+
+The MOFT is append-only, but *in-place* appends are invisible to
+concurrent readers only if they tolerate torn state: a reader iterating
+``as_arrays()`` while a writer extends the columns may see a row count
+from before the append and cached arrays from after it.  The streaming
+writer therefore never mutates a published table.  Instead it keeps a
+**version chain** of immutable snapshots:
+
+* a :class:`MoftSnapshot` is one published version — an ordered tuple of
+  frozen *segments* (the base table plus one delta segment per flush)
+  with a lazily concatenated columnar view (:meth:`MoftSnapshot.table`);
+* :class:`VersionedMoft` owns the chain head.  Publishing appends a new
+  segment and swaps the head reference atomically under the writer
+  lock; readers pin a snapshot by simply holding the reference — there
+  is nothing to unpin, the garbage collector retires old versions when
+  the last reader drops them.
+
+Two invariants make the chain cheap to maintain downstream:
+
+**Row-prefix extension.**  Segment order is publication order and
+:meth:`MOFT.concat` preserves row order, so every snapshot's table
+starts with the previous snapshot's rows, in the same positions.  The
+pre-agg maintainer exploits this: a store built against version *k*
+can be cloned, repointed at version *k+1*'s table, and folded forward
+with :meth:`~repro.preagg.PreAggStore.update` — the appended rows are
+exactly ``rows[built:]``.
+
+**Compaction preserves the row sequence.**  :meth:`VersionedMoft
+.compact` replaces many segments by their one concatenated table.  The
+resulting snapshot is row-for-row identical to its predecessor (same
+``rows``, same order, new ``ordinal``), so compaction can never change
+a query answer — the differential campaign in ``tests/ingest`` pins
+this.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import IngestError
+from repro.mo.moft import MOFT
+
+
+class MoftSnapshot:
+    """One immutable published version of the versioned table.
+
+    Attributes
+    ----------
+    ordinal:
+        Publication sequence number, unique per chain and monotone over
+        *every* publish (appends and compactions alike) — the version
+        identity concurrency tests match answers against.
+    rows:
+        Total row count across segments.
+    segments:
+        The frozen MOFT segments, in publication order.  Never mutate
+        them — every downstream guarantee rests on their immutability.
+    """
+
+    __slots__ = ("name", "ordinal", "rows", "segments", "_table", "_lock")
+
+    def __init__(
+        self, name: str, ordinal: int, segments: Sequence[MOFT]
+    ) -> None:
+        self.name = name
+        self.ordinal = int(ordinal)
+        self.segments: Tuple[MOFT, ...] = tuple(segments)
+        self.rows = sum(len(segment) for segment in self.segments)
+        self._table: Optional[MOFT] = None
+        self._lock = threading.Lock()
+
+    def table(self) -> MOFT:
+        """The snapshot's columnar view (lazily concatenated, cached).
+
+        Single-segment snapshots (a fresh base, or any post-compaction
+        snapshot) return the segment itself — zero copies.  The result
+        must be treated as immutable.
+        """
+        with self._lock:
+            if self._table is None:
+                if not self.segments:
+                    self._table = MOFT(self.name)
+                elif len(self.segments) == 1:
+                    self._table = self.segments[0]
+                else:
+                    # Segments were validated on construction and cover
+                    # disjoint (oid, t) regions (the ingestor seals each
+                    # sample exactly once), so skip re-validation.
+                    self._table = MOFT.concat(
+                        self.segments, name=self.name, validate=False
+                    )
+            return self._table
+
+    def __repr__(self) -> str:
+        return (
+            f"MoftSnapshot({self.name!r}, ordinal={self.ordinal}, "
+            f"rows={self.rows}, segments={len(self.segments)})"
+        )
+
+
+class VersionedMoft:
+    """Writer-owned head of a :class:`MoftSnapshot` chain.
+
+    One writer at a time publishes (the internal lock serializes
+    concurrent publishers); any number of readers call :meth:`head` and
+    keep using the returned snapshot for as long as they like.
+    """
+
+    def __init__(self, name: str = "FM", base: Optional[MOFT] = None) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        segments: Tuple[MOFT, ...] = ()
+        if base is not None and len(base):
+            segments = (base,)
+        self._head = MoftSnapshot(name, 0, segments)
+
+    @property
+    def head(self) -> MoftSnapshot:
+        """The current snapshot (atomic read; hold it to pin the version)."""
+        return self._head
+
+    def publish(
+        self, oids: Sequence, ts: Sequence, xs: Sequence, ys: Sequence
+    ) -> MoftSnapshot:
+        """Append one delta segment and publish the successor snapshot.
+
+        The segment is validated on construction (equal column lengths,
+        unique ``(oid, t)`` within the segment); cross-segment
+        uniqueness is the caller's contract — the streaming ingestor
+        guarantees it by sealing each accepted sample exactly once.
+        Raises :class:`~repro.errors.IngestError` on an empty or
+        malformed segment.
+        """
+        if not len(ts):
+            raise IngestError("refusing to publish an empty delta segment")
+        try:
+            segment = MOFT.from_columns(
+                oids, ts, xs, ys, name=self.name, validate=True
+            )
+        except Exception as exc:
+            raise IngestError(f"malformed delta segment: {exc}") from exc
+        with self._lock:
+            head = self._head
+            self._head = MoftSnapshot(
+                self.name, head.ordinal + 1, head.segments + (segment,)
+            )
+            return self._head
+
+    def compact(self) -> MoftSnapshot:
+        """Collapse the head's segments into one columnar base table.
+
+        Publishes a snapshot that is row-for-row identical to the
+        current head but holds a single segment, so later
+        :meth:`MoftSnapshot.table` calls on its successors concatenate
+        one long base plus a few short deltas instead of the full flush
+        history.  A no-op (returning the unchanged head) when the head
+        already has at most one segment.
+        """
+        with self._lock:
+            head = self._head
+            if len(head.segments) <= 1:
+                return head
+            table = head.table()
+            compacted = MoftSnapshot(self.name, head.ordinal + 1, (table,))
+            # Reuse the already-materialized view rather than re-concat.
+            compacted._table = table
+            self._head = compacted
+            return self._head
+
+    def __repr__(self) -> str:
+        head = self._head
+        return (
+            f"VersionedMoft({self.name!r}, ordinal={head.ordinal}, "
+            f"rows={head.rows}, segments={len(head.segments)})"
+        )
+
+
+__all__ = ["MoftSnapshot", "VersionedMoft"]

@@ -70,6 +70,24 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
     currently queued jobs, jobs anywhere between submit and a terminal
     state, and workers currently executing a claim.
 
+``samples_submitted`` / ``samples_ingested`` / ``samples_late`` /
+``ingest_batches`` / ``ingest_flushes`` / ``compactions``
+    The streaming-ingest layer (:mod:`repro.ingest`): samples handed to
+    :meth:`~repro.ingest.StreamingIngestor.submit`, samples sealed into
+    published delta segments, samples routed to the late side channel
+    (beyond the watermark — counted, kept, never silently dropped),
+    batches accepted, watermark flushes that published a segment, and
+    segment-chain compactions.  Exhaustiveness invariant at any instant:
+    ``samples_submitted == samples_ingested + samples_late +
+    samples_buffered``.
+``samples_buffered`` / ``watermark_lag`` / ``snapshot_count`` /
+``moft_segments``
+    Ingest *gauges*: samples above the watermark awaiting their seal,
+    how far (event-time units, truncated to int) the watermark trails
+    the newest event seen, total snapshots published on the version
+    chain, and segments in the current head (drops to 1 at each
+    compaction).
+
 Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``;
 the sharded executor adds ``shard_fanout`` (dispatch-to-last-result wall
 time), ``shard_scan`` (per-shard work, one call per shard, summed across
@@ -80,7 +98,10 @@ routing + cell reads); the query service adds ``service_queue_wait``
 (submit-to-claim latency, one call per claim), ``service_run``
 (claim-to-outcome execution wall time, one call per finished attempt)
 and ``worker_idle`` (poll sleeps of workers with nothing to claim —
-utilization is ``service_run / (service_run + worker_idle)``).
+utilization is ``service_run / (service_run + worker_idle)``); the
+streaming-ingest layer adds ``ingest_fold`` (seal → publish → clone →
+store fold, one call per flush) and ``compaction`` (segment-chain
+collapse, one call per compaction).
 
 Thread safety: counters and stage timers are mutated from worker threads
 by the ``threads`` backend of :mod:`repro.parallel`, so every read-modify-

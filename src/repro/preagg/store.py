@@ -35,8 +35,13 @@ window segment not accounted by the store has an endpoint in a sliver.
 Incremental maintenance: the MOFT is append-only and versioned, so the
 store snapshots ``(version, rows)`` and treats ``rows[built:]`` as the
 delta.  In-time-order appends are purely additive (new samples extend
-cells and add segments; no prior membership ever becomes wrong);
-out-of-order appends fall back to a full rebuild.
+cells and add segments; no prior membership ever becomes wrong).
+Out-of-order appends are handled per object: the reordered object's
+prior contribution is retracted (counts and intra-granule dwell
+subtracted, its oid stripped from the id sets, its spanning records
+dropped) and its full history refolded — other objects keep the pure
+delta path, so a few late samples no longer force a full rebuild.
+Only a Time-dimension edit still rebuilds from scratch.
 """
 
 from __future__ import annotations
@@ -449,9 +454,10 @@ class PreAggStore:
         """Fold appended MOFT rows into the cells.
 
         Returns ``"fresh"`` (nothing to do), ``"delta"`` (the appended
-        rows were applied incrementally) or ``"rebuild"`` (the Time
-        dimension changed, or some object received an out-of-time-order
-        sample, so the store fell back to :meth:`refresh`).
+        rows were applied incrementally — including per-object
+        retract-and-refold for objects whose append was out of time
+        order) or ``"rebuild"`` (the Time dimension changed, so the
+        store fell back to :meth:`refresh`).
         """
         if not self.is_stale():
             return "fresh"
@@ -469,6 +475,7 @@ class PreAggStore:
             for offset, oid in enumerate(oid_col[start:].tolist()):
                 per_object.setdefault(oid, []).append(offset)
             delta = _DeltaSets()
+            reordered: List[Hashable] = []
             for oid, offsets in per_object.items():
                 offsets.sort(key=lambda o: t[start + o])
                 code = self._intern(oid)
@@ -476,9 +483,11 @@ class PreAggStore:
                 first_t = float(t[start + offsets[0]])
                 if previous is not None and first_t <= previous[0]:
                     # Out-of-order append: the connecting segments already
-                    # folded in would change — rebuild instead.
-                    self.refresh()
-                    return "rebuild"
+                    # folded in would change.  Retract this object's
+                    # contribution and refold its full history below;
+                    # every other object keeps the pure delta path.
+                    reordered.append(oid)
+                    continue
                 for offset in offsets:
                     row = start + offset
                     granule = int(codes[offset])
@@ -495,10 +504,117 @@ class PreAggStore:
                         )
                     previous = (tr, xr, yr)
                 self._last[code] = previous  # type: ignore[assignment]
+            for oid in reordered:
+                self._refold_object(delta, oid)
             self._apply_sets(delta)
             self._built_version = version
             self._built_rows = rows
         return "delta"
+
+    def _refold_object(self, delta: _DeltaSets, oid: Hashable) -> None:
+        """Retract one object's folded state and refold its full history.
+
+        Used when an append delivered the object a sample at or before
+        its last folded instant: connecting segments already attributed
+        to cells would change, so the object's entire contribution is
+        removed (:meth:`_retract_object`) and rebuilt from its current
+        time-sorted history — exactly what a full :meth:`refresh` would
+        produce for this object, without touching any other object.
+        """
+        code = self._oid_code[oid]
+        self._retract_object(code)
+        t_all, x_all, y_all = self.moft.as_arrays()
+        times, rows = self.moft._object_order(oid)
+        granules = self._granule_codes_checked(times)
+        for i in range(times.shape[0]):
+            row = int(rows[i])
+            self._fold_sample(
+                delta, code, int(granules[i]),
+                float(x_all[row]), float(y_all[row]),
+            )
+        for i in range(times.shape[0] - 1):
+            r0, r1 = int(rows[i]), int(rows[i + 1])
+            self._fold_segment(
+                delta,
+                code,
+                float(times[i]),
+                float(times[i + 1]),
+                float(x_all[r0]),
+                float(y_all[r0]),
+                float(x_all[r1]),
+                float(y_all[r1]),
+                int(granules[i]),
+                int(granules[i + 1]),
+            )
+        last_row = int(rows[-1])
+        self._last[code] = (
+            float(times[-1]), float(x_all[last_row]), float(y_all[last_row])
+        )
+
+    def _retract_object(self, code: int) -> None:
+        """Remove every folded contribution of one object from the cells.
+
+        Recomputes the object's *previously folded* samples and
+        intra-granule segments — its rows below the built snapshot, in
+        the same stable time order :meth:`_build_from_rows` used — and
+        subtracts them; then strips the oid code from every id set and
+        drops its spanning records (their dwell lives only in the
+        records, so dropping them is the complete retraction).
+        """
+        oid = self._oid_values[code]
+        t_all, x_all, y_all = self.moft.as_arrays()
+        all_rows = np.asarray(
+            self.moft._object_rows().get(oid, []), dtype=np.intp
+        )
+        prior = all_rows[all_rows < self._built_rows]
+        if prior.size:
+            times = t_all[prior]
+            order = np.argsort(times, kind="stable")
+            prior, times = prior[order], times[order]
+            granules = self._granule_codes_checked(times)
+            for i in range(prior.size):
+                row = int(prior[i])
+                point = Point(float(x_all[row]), float(y_all[row]))
+                box = BoundingBox(point.x, point.y, point.x, point.y)
+                for gid in self._grid.query_box(box):
+                    if self.geometries[gid].contains_point(point):
+                        self._cells[gid].samples[int(granules[i])] -= 1
+            for i in range(prior.size - 1):
+                g0, g1 = int(granules[i]), int(granules[i + 1])
+                if g0 != g1:
+                    continue  # dwell lives in a span record, dropped below
+                r0, r1 = int(prior[i]), int(prior[i + 1])
+                t0, t1 = float(times[i]), float(times[i + 1])
+                x0, y0 = float(x_all[r0]), float(y_all[r0])
+                x1, y1 = float(x_all[r1]), float(y_all[r1])
+                segment = Segment(Point(x0, y0), Point(x1, y1))
+                box = BoundingBox(
+                    min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1)
+                )
+                for gid in self._grid.query_box(box):
+                    polygon = self.geometries[gid]
+                    if not geometries_intersect(polygon, segment):
+                        continue
+                    dwell = sum(
+                        (s1 - s0) * (t1 - t0)
+                        for s0, s1 in polygon.clip_segment(segment)
+                    )
+                    self._cells[gid].dwell[g0] -= dwell
+        for cells in self._cells.values():
+            for g in range(len(self.partition)):
+                arr = cells.present[g]
+                if arr.size and code in arr:
+                    cells.present[g] = arr[arr != code]
+                arr = cells.passers[g]
+                if arr.size and code in arr:
+                    cells.passers[g] = arr[arr != code]
+            if cells.span_oid.size:
+                keep = cells.span_oid != code
+                if not keep.all():
+                    cells.span_oid = cells.span_oid[keep]
+                    cells.span_a = cells.span_a[keep]
+                    cells.span_b = cells.span_b[keep]
+                    cells.span_dwell = cells.span_dwell[keep]
 
     def _fold_sample(
         self,
@@ -513,6 +629,54 @@ class PreAggStore:
             if self.geometries[gid].contains_point(point):
                 self._cells[gid].samples[granule] += 1
                 delta.add_present(gid, granule, code)
+
+    def clone(self, moft: Optional[MOFT] = None) -> "PreAggStore":
+        """Copy-on-write duplicate, optionally repointed at a new MOFT.
+
+        The streaming maintainer (:mod:`repro.ingest`) folds each
+        watermark flush into a *clone* bound to the new immutable
+        snapshot table, leaving the store readers on older snapshots
+        still query untouched.  Only the arrays folds mutate in place
+        (``samples``/``dwell``) are copied; the id-set lists and
+        spanning-record arrays are rebound on write, never mutated, so
+        they share storage until a fold replaces them.
+
+        ``moft`` must extend this store's table as a row prefix (the
+        :class:`~repro.ingest.VersionedMoft` publish guarantee); the
+        clone keeps the built ``(version, rows)`` snapshot, so a
+        subsequent :meth:`update` folds exactly the appended rows.
+        """
+        out = PreAggStore(
+            moft if moft is not None else self.moft,
+            self.time,
+            self.granule_level,
+            self.geometries,
+            layer=self.layer,
+            kind=self.kind,
+            name=self.name,
+            obs=self.obs,
+            build=False,
+        )
+        out.partition = self.partition
+        out._dim_version = self._dim_version
+        out._built_version = self._built_version
+        out._built_rows = self._built_rows
+        out._oid_values = list(self._oid_values)
+        out._oid_code = dict(self._oid_code)
+        out._last = dict(self._last)
+        out._cells = {}
+        for gid, src in self._cells.items():
+            dst = _GidCells(0)
+            dst.samples = src.samples.copy()
+            dst.dwell = src.dwell.copy()
+            dst.present = list(src.present)
+            dst.passers = list(src.passers)
+            dst.span_oid = src.span_oid
+            dst.span_a = src.span_a
+            dst.span_b = src.span_b
+            dst.span_dwell = src.span_dwell
+            out._cells[gid] = dst
+        return out
 
     # -- granule-run queries --------------------------------------------------
 

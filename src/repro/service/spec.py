@@ -11,7 +11,11 @@ vocabularies —
   the cost-based planner, so the stored EXPLAIN plan records which
   strategy ran);
 * ``kind="pietql"`` — a Piet-QL query string, executed through
-  :class:`~repro.parallel.ShardedPietQLExecutor`.
+  :class:`~repro.parallel.ShardedPietQLExecutor`;
+* ``kind="ingest"`` — a batch of GPS samples for a streaming world's
+  :class:`~repro.ingest.StreamingIngestor` (``samples`` is a list of
+  ``[oid, t, x, y]`` rows); the result payload is the per-batch
+  accounting (submitted/ingested/late/buffered, watermark, version).
 
 Results are persisted as *canonical JSON* (:func:`canonical_json`:
 sorted keys, no whitespace), so "the service answer equals the direct
@@ -28,7 +32,7 @@ from typing import Dict, Optional, Tuple
 from repro.errors import ServiceError
 
 #: The query vocabularies a spec can carry.
-SPEC_KINDS: Tuple[str, ...] = ("through", "pietql")
+SPEC_KINDS: Tuple[str, ...] = ("through", "pietql", "ingest")
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,7 @@ class QuerySpec:
     target: Optional[Tuple[str, str]] = None
     constraints: Tuple[Tuple[str, Tuple[str, str]], ...] = ()
     window: Optional[Tuple[float, float]] = None
+    samples: Tuple[Tuple[str, float, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in SPEC_KINDS:
@@ -55,6 +60,15 @@ class QuerySpec:
         if self.kind == "pietql":
             if not self.text or not str(self.text).strip():
                 raise ServiceError("a pietql spec needs non-empty query text")
+        elif self.kind == "ingest":
+            if not self.samples:
+                raise ServiceError("an ingest spec needs >= 1 sample")
+            for sample in self.samples:
+                if len(sample) != 4:
+                    raise ServiceError(
+                        f"each ingest sample must be (oid, t, x, y), "
+                        f"got {sample!r}"
+                    )
         else:
             if self.target is None or len(self.target) != 2:
                 raise ServiceError(
@@ -107,6 +121,17 @@ class QuerySpec:
         """A Piet-QL query string."""
         return cls(kind="pietql", text=str(text))
 
+    @classmethod
+    def ingest(cls, samples) -> "QuerySpec":
+        """A batch of ``(oid, t, x, y)`` samples for a streaming world."""
+        return cls(
+            kind="ingest",
+            samples=tuple(
+                (str(s[0]), float(s[1]), float(s[2]), float(s[3]))
+                for s in samples
+            ),
+        )
+
     # -- serialization -------------------------------------------------------
 
     def to_json(self) -> str:
@@ -114,6 +139,8 @@ class QuerySpec:
         payload: Dict[str, object] = {"kind": self.kind}
         if self.kind == "pietql":
             payload["text"] = self.text
+        elif self.kind == "ingest":
+            payload["samples"] = [list(sample) for sample in self.samples]
         else:
             payload["moft_name"] = self.moft_name
             payload["target"] = list(self.target)
@@ -140,6 +167,8 @@ class QuerySpec:
         try:
             if kind == "pietql":
                 return cls.pietql(payload["text"])
+            if kind == "ingest":
+                return cls.ingest(payload["samples"])
             if kind == "through":
                 return cls.through(
                     tuple(payload["target"]),
@@ -167,6 +196,12 @@ class QuerySpec:
         if self.kind == "pietql":
             text = str(self.text)
             return text if len(text) <= 72 else text[:69] + "..."
+        if self.kind == "ingest":
+            ts = [s[1] for s in self.samples]
+            return (
+                f"ingest {len(self.samples)} sample(s) "
+                f"[t={min(ts):g}..{max(ts):g}]"
+            )
         parts = [f"through {self.target[0]}:{self.target[1]}"]
         for rel, ref in self.constraints:
             parts.append(f"{rel} {ref[0]}:{ref[1]}")
@@ -213,6 +248,18 @@ def result_payload(kind: str, outcome) -> Dict[str, object]:
     """
     if kind == "through":
         return {"kind": "through", "count": int(outcome)}
+    if kind == "ingest":
+        # outcome is a repro.ingest.IngestReport.
+        return {
+            "kind": "ingest",
+            "submitted": int(outcome.submitted),
+            "ingested": int(outcome.ingested),
+            "late": int(outcome.late),
+            "buffered": int(outcome.buffered),
+            "watermark": float(outcome.watermark),
+            "version": int(outcome.ordinal),
+            "rows": int(outcome.rows),
+        }
     payload: Dict[str, object] = {
         "kind": "pietql",
         "geometry_ids": _sorted_ids(outcome.geometry_ids),

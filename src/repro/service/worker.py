@@ -44,6 +44,7 @@ import traceback
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import (
+    IngestError,
     LeaseLostError,
     PietQLError,
     QueryError,
@@ -57,7 +58,7 @@ from repro.service.spec import QuerySpec, canonical_json, result_payload
 from repro.service.worlds import ServiceWorld
 
 #: Error types whose jobs go straight to ``failed`` (no retry can help).
-NON_RETRYABLE = (QueryError, PietQLError, SchemaError, ServiceError)
+NON_RETRYABLE = (QueryError, PietQLError, SchemaError, ServiceError, IngestError)
 
 
 def execute_spec(
@@ -74,17 +75,38 @@ def execute_spec(
     sharded executor as the fan-out candidate, so the persisted EXPLAIN
     plan records the strategy the cost model actually picked; ``pietql``
     specs run through :class:`~repro.parallel.ShardedPietQLExecutor`.
+
+    Query kinds evaluate against :meth:`~repro.service.worlds
+    .ServiceWorld.query_context` — on a streaming world that pins the
+    ingestor's current snapshot for the whole execution, so an
+    ``ingest`` job landing on another worker mid-query can never tear
+    this one's view.  ``ingest`` specs feed the world's ingestor and
+    return the per-batch accounting as their result payload.
     """
     from repro.parallel import ShardedExecutor, ShardedPietQLExecutor
     from repro.query.planner import planned_count_objects_through
 
-    observer = obs if obs is not None else world.context.obs
+    if spec.kind == "ingest":
+        if world.ingestor is None:
+            raise ServiceError(
+                f"world {world.name!r} is not streaming; ingest jobs need "
+                f"load_world(..., streaming=True)"
+            )
+        report = world.ingestor.submit(
+            [s[0] for s in spec.samples],
+            [s[1] for s in spec.samples],
+            [s[2] for s in spec.samples],
+            [s[3] for s in spec.samples],
+        )
+        return canonical_json(result_payload("ingest", report)), None
+    context = world.query_context()
+    observer = obs if obs is not None else context.obs
     executor = ShardedExecutor(
         backend=backend, n_shards=n_shards, obs=observer
     )
     if spec.kind == "through":
         count, plan = planned_count_objects_through(
-            world.context,
+            context,
             spec.target,
             list(spec.constraints),
             moft_name=spec.moft_name,
@@ -96,7 +118,7 @@ def execute_spec(
             plan.render(),
         )
     result = ShardedPietQLExecutor(
-        world.context, world.bindings, sharded=executor
+        context, world.bindings, sharded=executor
     ).execute(spec.text)
     explain = result.plan.render() if result.plan is not None else None
     return canonical_json(result_payload("pietql", result)), explain

@@ -1,0 +1,227 @@
+"""The ingest-vs-batch differential campaign.
+
+The contract under test: streaming any ingest schedule — shuffled,
+batched, with late arrivals — yields, after watermark close and
+compaction, a world that answers **identically** to a one-shot batch
+load of exactly the accepted samples.  "Identically" means:
+
+* count and THROUGH answers are byte-identical canonical JSON;
+* dwell time matches to 1e-9 relative tolerance (float fold order is
+  the only thing allowed to differ);
+* the snapshot's cloned pre-agg stores serve the planner exactly like
+  freshly built ones (three-way oracle: serial scan vs sharded scans
+  vs the pre-agg route, inside the ingested world).
+
+Schedules cover the Figure 1 instance exhaustively-ish (a grid of
+shuffle seeds x batch sizes x lateness budgets plus a hypothesis fuzz
+layer) and the synthetic city at two scales (2k fast, 10k slow lane).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis import NODE, POLYLINE
+
+from tests.ingest.conftest import (
+    TARGET,
+    accepted_samples,
+    batch_reference,
+    count_payload,
+    dwell_value,
+    through_payload,
+    run_schedule,
+)
+
+pytestmark = pytest.mark.ingest
+
+FIG1_CONSTRAINTS = [
+    ("intersects", ("Lr", POLYLINE)),
+    ("contains", ("Ls", NODE)),
+]
+SYNTH_CONSTRAINTS = [("intersects", ("Lr", POLYLINE))]
+
+
+def assert_matches_batch(
+    ingestor, world, constraints, *, dwell: bool = True
+) -> None:
+    """The closed ingest run answers byte-identically to a one-shot
+    batch load of exactly its accepted samples."""
+    accepted = accepted_samples(world.samples, ingestor)
+    snap = ingestor.snapshot()
+    assert snap.rows == len(accepted)
+    reference = batch_reference(world, accepted)
+    context = snap.context()
+    for legs in ([], constraints):
+        assert count_payload(
+            context, legs, moft_name=world.moft_name
+        ) == count_payload(reference, legs, moft_name=world.moft_name)
+    assert through_payload(
+        context, moft_name=world.moft_name
+    ) == through_payload(reference, moft_name=world.moft_name)
+    if dwell and len(accepted):
+        assert math.isclose(
+            dwell_value(context, moft_name=world.moft_name),
+            dwell_value(reference, moft_name=world.moft_name),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+
+class TestFig1Schedules:
+    """A grid over the Figure 1 instance: every combination of shuffle,
+    batching and lateness budget must match its batch reference."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("batch_size", [1, 3, 5, 12])
+    @pytest.mark.parametrize("lateness", [0.0, 2.0, 12.0])
+    def test_schedule_matches_batch_load(
+        self, fig1_stream, seed, batch_size, lateness
+    ):
+        ingestor = run_schedule(
+            fig1_stream,
+            batch_size=batch_size,
+            lateness=lateness,
+            seed=seed,
+        )
+        assert_matches_batch(ingestor, fig1_stream, FIG1_CONSTRAINTS)
+
+    def test_generous_lateness_accepts_everything(self, fig1_stream):
+        """With lateness >= the time span nothing is late, so the final
+        world answers exactly like the original Figure 1 instance."""
+        ingestor = run_schedule(
+            fig1_stream, batch_size=5, lateness=12.0, seed=7
+        )
+        assert ingestor.late_samples() == ()
+        assert ingestor.snapshot().rows == len(fig1_stream.samples)
+        assert_matches_batch(ingestor, fig1_stream, FIG1_CONSTRAINTS)
+
+    def test_in_order_zero_lateness_accepts_everything(self, fig1_stream):
+        """Time-ordered delivery needs no lateness budget as long as
+        batches do not split a same-instant group."""
+        ordered = sorted(fig1_stream.samples, key=lambda s: s[1])
+        groups = {}
+        for sample in ordered:
+            groups.setdefault(sample[1], []).append(sample)
+        ingestor = run_schedule(
+            fig1_stream,
+            samples=[s for t in sorted(groups) for s in groups[t]],
+            batch_size=max(len(g) for g in groups.values()) * len(groups),
+            lateness=0.0,
+        )
+        # One giant batch: nothing can be late (routing precedes advance).
+        assert ingestor.late_samples() == ()
+        assert_matches_batch(ingestor, fig1_stream, FIG1_CONSTRAINTS)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        batch_size=st.integers(1, 13),
+        lateness=st.sampled_from([0.0, 1.0, 3.0, 7.0, 12.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fuzzed_schedules(self, fig1_stream, seed, batch_size, lateness):
+        ingestor = run_schedule(
+            fig1_stream,
+            batch_size=batch_size,
+            lateness=lateness,
+            seed=seed,
+        )
+        # Exhaustive routing: accepted + late == submitted, and the
+        # answers match the batch load of exactly the accepted set.
+        assert (
+            ingestor.snapshot().rows + len(ingestor.late_samples())
+            == len(fig1_stream.samples)
+        )
+        assert_matches_batch(
+            ingestor, fig1_stream, FIG1_CONSTRAINTS, dwell=False
+        )
+
+
+class TestThreeWayOnIngestedWorld:
+    """The snapshot's cloned stores must serve the planner exactly like
+    freshly built ones: serial vs sharded vs pre-agg, inside the
+    ingested world."""
+
+    @pytest.fixture(scope="class")
+    def ingested_fig1(self, fig1_stream):
+        ingestor = run_schedule(
+            fig1_stream, batch_size=4, lateness=12.0, seed=13
+        )
+        assert ingestor.late_samples() == ()
+        return ingestor.snapshot().context()
+
+    def test_count_full_span(self, oracle, ingested_fig1):
+        oracle.check_count_three_way(
+            ingested_fig1, TARGET, FIG1_CONSTRAINTS, moft_name="FMbus"
+        )
+
+    def test_count_aligned_window(self, oracle, ingested_fig1):
+        oracle.check_count_three_way(
+            ingested_fig1, TARGET, FIG1_CONSTRAINTS,
+            moft_name="FMbus", window=(2.0, 4.0),
+        )
+
+    def test_dwell(self, oracle, ingested_fig1):
+        oracle.check_dwell_three_way(
+            ingested_fig1, TARGET, FIG1_CONSTRAINTS, moft_name="FMbus"
+        )
+
+
+class TestSmallSynthSchedules:
+    @pytest.mark.parametrize(
+        "batch_size,lateness,seed",
+        [(64, 0.0, 3), (97, 5.0, 4), (33, 50.0, 5)],
+        ids=["zero-lateness", "small-budget", "accept-all"],
+    )
+    def test_schedule_matches_batch_load(
+        self, small_synth_stream, batch_size, lateness, seed
+    ):
+        ingestor = run_schedule(
+            small_synth_stream,
+            batch_size=batch_size,
+            lateness=lateness,
+            seed=seed,
+        )
+        assert_matches_batch(
+            ingestor, small_synth_stream, SYNTH_CONSTRAINTS
+        )
+
+    def test_three_way_after_ingest(self, oracle, small_synth_stream):
+        ingestor = run_schedule(
+            small_synth_stream, batch_size=128, lateness=50.0, seed=6
+        )
+        context = ingestor.snapshot().context()
+        oracle.check_count_three_way(context, TARGET, SYNTH_CONSTRAINTS)
+        oracle.check_dwell_three_way(context, TARGET, SYNTH_CONSTRAINTS)
+
+
+@pytest.mark.slow
+class TestSynth10kCampaign:
+    """The full 10,000-sample world through a disorderly schedule."""
+
+    @pytest.fixture(scope="class")
+    def ingested(self, synth_10k_stream):
+        return run_schedule(
+            synth_10k_stream,
+            batch_size=512,
+            lateness=10.0,
+            seed=20070109,
+            compact_every=6,
+        )
+
+    def test_matches_batch_load(self, ingested, synth_10k_stream):
+        assert_matches_batch(ingested, synth_10k_stream, SYNTH_CONSTRAINTS)
+
+    def test_three_way_full_span_and_window(
+        self, oracle, ingested, synth_10k_stream
+    ):
+        context = ingested.snapshot().context()
+        oracle.check_count_three_way(context, TARGET, SYNTH_CONSTRAINTS)
+        oracle.check_count_three_way(
+            context, TARGET, SYNTH_CONSTRAINTS, window=(24.0, 71.0)
+        )
+        oracle.check_dwell_three_way(context, TARGET, SYNTH_CONSTRAINTS)

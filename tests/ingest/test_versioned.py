@@ -1,0 +1,164 @@
+"""Unit tests for the MVCC version chain (:mod:`repro.ingest.versioned`).
+
+The chain's two load-bearing invariants — row-prefix extension and
+row-identical compaction — are what let the pre-agg maintainer fold
+forward instead of rebuilding and what make compaction answer-neutral;
+both are pinned here at the table level before the differential
+campaign exercises them end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import MoftSnapshot, VersionedMoft
+from repro.mo.moft import MOFT
+
+pytestmark = pytest.mark.ingest
+
+
+def publish_rows(chain: VersionedMoft, rows) -> MoftSnapshot:
+    return chain.publish(
+        [r[0] for r in rows],
+        [r[1] for r in rows],
+        [r[2] for r in rows],
+        [r[3] for r in rows],
+    )
+
+
+def columns_of(moft: MOFT):
+    t, x, y = moft.as_arrays()
+    return list(moft.oid_column()), t, x, y
+
+
+class TestConstruction:
+    def test_empty_chain_head(self):
+        chain = VersionedMoft("FM")
+        head = chain.head
+        assert head.ordinal == 0
+        assert head.rows == 0
+        assert head.segments == ()
+        table = head.table()
+        assert isinstance(table, MOFT)
+        assert len(table) == 0
+        assert table.name == "FM"
+
+    def test_base_seeds_version_zero(self):
+        base = MOFT.from_columns(
+            ["a", "b"], [0.0, 1.0], [1.0, 2.0], [3.0, 4.0], name="FM"
+        )
+        chain = VersionedMoft("FM", base=base)
+        head = chain.head
+        assert head.ordinal == 0
+        assert head.rows == 2
+        assert head.segments == (base,)
+        # Single-segment snapshots return the segment itself: zero copies.
+        assert head.table() is base
+
+    def test_empty_base_is_ignored(self):
+        chain = VersionedMoft("FM", base=MOFT("FM"))
+        assert chain.head.segments == ()
+
+
+class TestPublish:
+    def test_appends_segment_and_bumps_ordinal(self):
+        chain = VersionedMoft("FM")
+        snap1 = publish_rows(chain, [("a", 0.0, 1.0, 1.0)])
+        snap2 = publish_rows(chain, [("a", 1.0, 2.0, 2.0), ("b", 1.0, 0.0, 0.0)])
+        assert (snap1.ordinal, snap1.rows) == (1, 1)
+        assert (snap2.ordinal, snap2.rows) == (2, 3)
+        assert chain.head is snap2
+        assert len(snap2.segments) == 2
+
+    def test_pinned_snapshot_is_immutable_across_publishes(self):
+        chain = VersionedMoft("FM")
+        pinned = publish_rows(chain, [("a", 0.0, 1.0, 1.0)])
+        before = columns_of(pinned.table())
+        publish_rows(chain, [("b", 1.0, 5.0, 5.0)])
+        publish_rows(chain, [("c", 2.0, 6.0, 6.0)])
+        after = columns_of(pinned.table())
+        assert pinned.rows == 1
+        assert before[0] == after[0]
+        for lhs, rhs in zip(before[1:], after[1:]):
+            assert np.array_equal(lhs, rhs)
+
+    def test_row_prefix_extension(self):
+        """Every snapshot's table starts with its predecessor's rows."""
+        chain = VersionedMoft("FM")
+        old = publish_rows(
+            chain, [("a", 0.0, 1.0, 1.0), ("b", 0.0, 2.0, 2.0)]
+        )
+        new = publish_rows(
+            chain, [("a", 1.0, 3.0, 3.0), ("c", 1.0, 4.0, 4.0)]
+        )
+        old_oids, old_t, old_x, old_y = columns_of(old.table())
+        new_oids, new_t, new_x, new_y = columns_of(new.table())
+        r = old.rows
+        assert new_oids[:r] == old_oids
+        assert np.array_equal(new_t[:r], old_t)
+        assert np.array_equal(new_x[:r], old_x)
+        assert np.array_equal(new_y[:r], old_y)
+
+    def test_empty_segment_is_refused(self):
+        chain = VersionedMoft("FM")
+        with pytest.raises(IngestError, match="empty delta segment"):
+            chain.publish([], [], [], [])
+
+    def test_malformed_segment_leaves_head_unchanged(self):
+        chain = VersionedMoft("FM")
+        head = publish_rows(chain, [("a", 0.0, 1.0, 1.0)])
+        with pytest.raises(IngestError, match="malformed delta segment"):
+            # Duplicate (oid, t) within one segment.
+            publish_rows(
+                chain, [("b", 1.0, 0.0, 0.0), ("b", 1.0, 9.0, 9.0)]
+            )
+        assert chain.head is head
+
+    def test_ragged_segment_is_refused(self):
+        chain = VersionedMoft("FM")
+        with pytest.raises(IngestError, match="malformed delta segment"):
+            chain.publish(["a", "b"], [0.0], [1.0], [1.0])
+
+
+class TestCompact:
+    def test_compaction_is_row_identical(self):
+        chain = VersionedMoft("FM")
+        for k in range(4):
+            publish_rows(chain, [(f"o{k}", float(k), 1.0 * k, 2.0 * k)])
+        before = columns_of(chain.head.table())
+        ordinal = chain.head.ordinal
+        compacted = chain.compact()
+        assert compacted.ordinal == ordinal + 1
+        assert len(compacted.segments) == 1
+        assert compacted.rows == 4
+        after = columns_of(compacted.table())
+        assert before[0] == after[0]
+        for lhs, rhs in zip(before[1:], after[1:]):
+            assert np.array_equal(lhs, rhs)
+
+    def test_compaction_noop_below_two_segments(self):
+        chain = VersionedMoft("FM")
+        assert chain.compact() is chain.head
+        head = publish_rows(chain, [("a", 0.0, 1.0, 1.0)])
+        assert chain.compact() is head
+
+    def test_publish_after_compaction_extends_the_base(self):
+        chain = VersionedMoft("FM")
+        publish_rows(chain, [("a", 0.0, 1.0, 1.0)])
+        publish_rows(chain, [("b", 1.0, 2.0, 2.0)])
+        chain.compact()
+        snap = publish_rows(chain, [("c", 2.0, 3.0, 3.0)])
+        assert len(snap.segments) == 2
+        assert snap.rows == 3
+        oids, t, _, _ = columns_of(snap.table())
+        assert oids == ["a", "b", "c"]
+        assert np.array_equal(t, np.array([0.0, 1.0, 2.0]))
+
+    def test_table_is_cached(self):
+        chain = VersionedMoft("FM")
+        publish_rows(chain, [("a", 0.0, 1.0, 1.0)])
+        publish_rows(chain, [("b", 1.0, 2.0, 2.0)])
+        head = chain.head
+        assert head.table() is head.table()

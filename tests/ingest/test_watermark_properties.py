@@ -1,0 +1,190 @@
+"""Hypothesis properties of the watermark semantics.
+
+Three statements, each quantified over arbitrary batch schedules:
+
+* the watermark is monotone and equals
+  ``max(event time seen) - allowed_lateness`` once any event arrived;
+* routing is exhaustive and exact: a sample is late iff it arrives at
+  or below the watermark of the *previous* batches, and at every
+  instant ``submitted == ingested + late + buffered`` — nothing is
+  silently dropped, nothing counted twice;
+* watermark-ordered sealing keeps the pre-agg maintainer on the pure
+  delta path: :meth:`~repro.preagg.PreAggStore.update` never reports
+  ``"rebuild"`` during a streaming run, whatever the disorder of the
+  input schedule.
+
+The routing properties run without pre-agg stores (event times may be
+arbitrary floats); the delta-path property uses registered instants so
+folding is legal.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ingest import IngestConfig, StoreSpec, StreamingIngestor
+from repro.preagg import PreAggStore
+
+pytestmark = pytest.mark.ingest
+
+# Event times: finite floats in a range wide enough to exercise
+# negative times and coarse/fine spacing alike.
+EVENT_TIMES = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+BATCHES = st.lists(
+    st.lists(EVENT_TIMES, min_size=0, max_size=8), min_size=1, max_size=12
+)
+
+LATENESS = st.sampled_from([0.0, 0.5, 3.0, 25.0, 1e5])
+
+
+def build(stream_world, lateness: float, store_specs=()) -> StreamingIngestor:
+    return StreamingIngestor(
+        stream_world.gis,
+        stream_world.time,
+        moft_name=stream_world.moft_name,
+        config=IngestConfig(allowed_lateness=lateness, compact_every=3),
+        store_specs=store_specs,
+    )
+
+
+def submit_times(ingestor: StreamingIngestor, times, tag: str):
+    """Submit one batch of uniquely-named samples at the given times."""
+    n = len(times)
+    return ingestor.submit(
+        [f"{tag}-{i}" for i in range(n)],
+        list(times),
+        [0.0] * n,
+        [0.0] * n,
+    )
+
+
+class TestRoutingProperties:
+    @given(batches=BATCHES, lateness=LATENESS)
+    @settings(max_examples=120, deadline=None)
+    def test_watermark_is_monotone_and_tracks_max_event(
+        self, fig1_stream, batches, lateness
+    ):
+        ingestor = build(fig1_stream, lateness)
+        watermark = -math.inf
+        max_t = -math.inf
+        for k, batch in enumerate(batches):
+            report = submit_times(ingestor, batch, f"b{k}")
+            # Only non-late samples advance the event-time high mark.
+            for t in batch:
+                if t > watermark:
+                    max_t = max(max_t, t)
+            expected = (
+                max(watermark, max_t - lateness)
+                if math.isfinite(max_t)
+                else -math.inf
+            )
+            assert report.watermark >= watermark
+            assert report.watermark == expected
+            watermark = report.watermark
+
+    @given(batches=BATCHES, lateness=LATENESS)
+    @settings(max_examples=120, deadline=None)
+    def test_routing_is_exhaustive_and_exact(
+        self, fig1_stream, batches, lateness
+    ):
+        """late iff ``t <= watermark`` at arrival; totals always add up."""
+        ingestor = build(fig1_stream, lateness)
+        submitted = ingested = late = 0
+        expected_late_ts = []
+        for k, batch in enumerate(batches):
+            watermark_before = ingestor.watermark
+            report = submit_times(ingestor, batch, f"b{k}")
+            expected_late = [t for t in batch if t <= watermark_before]
+            expected_late_ts.extend(expected_late)
+            assert report.late == len(expected_late)
+            submitted += report.submitted
+            ingested += report.ingested
+            late += report.late
+            # Exhaustive at every instant, not just at close.
+            assert report.buffered == submitted - ingested - late
+            assert report.rows == ingested
+        final = ingestor.close()
+        counters = ingestor.obs.counters
+        assert counters.get("samples_submitted", 0) == submitted
+        assert counters.get("samples_late", 0) == late
+        # close() seals everything buffered: ingested + late == submitted.
+        assert counters.get("samples_ingested", 0) == submitted - late
+        assert final.rows == submitted - late
+        side_channel = ingestor.late_samples()
+        assert len(side_channel) == late
+        assert sorted(t for _, t, _, _ in side_channel) == sorted(
+            expected_late_ts
+        )
+
+    @given(lateness=LATENESS)
+    @settings(max_examples=20, deadline=None)
+    def test_close_is_idempotent_and_final(self, fig1_stream, lateness):
+        ingestor = build(fig1_stream, lateness)
+        submit_times(ingestor, [5.0, 1.0, 3.0], "a")
+        first = ingestor.close()
+        assert ingestor.close() is first
+        from repro.errors import IngestError
+
+        with pytest.raises(IngestError, match="closed"):
+            submit_times(ingestor, [9.0], "z")
+
+
+@contextmanager
+def recording_updates():
+    """Record every :meth:`PreAggStore.update` outcome engine-wide."""
+    outcomes = []
+    original = PreAggStore.update
+
+    def recorder(self):
+        outcome = original(self)
+        outcomes.append(outcome)
+        return outcome
+
+    PreAggStore.update = recorder
+    try:
+        yield outcomes
+    finally:
+        PreAggStore.update = original
+
+
+class TestDeltaPathProperty:
+    @given(
+        seed=st.integers(0, 2**20),
+        batch_size=st.integers(1, 7),
+        lateness=st.sampled_from([0.0, 1.0, 4.0, 12.0]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_watermark_ordered_folds_never_rebuild(
+        self, fig1_stream, seed, batch_size, lateness
+    ):
+        """Sealing sorts by event time, so every publish is a strict
+        per-object time extension and ``update()`` stays incremental."""
+        import random
+
+        schedule = list(fig1_stream.samples)
+        random.Random(seed).shuffle(schedule)
+        ingestor = build(
+            fig1_stream,
+            lateness,
+            store_specs=(StoreSpec("hour", "Ln", "polygon"),),
+        )
+        with recording_updates() as outcomes:
+            for start in range(0, len(schedule), batch_size):
+                batch = schedule[start:start + batch_size]
+                ingestor.submit(
+                    [s[0] for s in batch],
+                    [s[1] for s in batch],
+                    [s[2] for s in batch],
+                    [s[3] for s in batch],
+                )
+            ingestor.close()
+        assert outcomes, "no folds happened (schedule sealed nothing?)"
+        assert all(o in ("fresh", "delta") for o in outcomes), outcomes

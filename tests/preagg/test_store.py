@@ -265,17 +265,82 @@ class TestStaleness:
             rel_tol=1e-9, abs_tol=1e-9,
         )
 
-    def test_out_of_order_append_rebuilds(self):
+    def test_out_of_order_append_takes_delta_path(self):
+        """Regression: this exact case used to return ``"rebuild"``.
+
+        An earlier instant for an existing object changes connecting
+        segments already folded in; the store now retracts and refolds
+        just that object instead of rebuilding, and still matches a
+        from-scratch build exactly.
+        """
         context, moft, elements, store = small_synth_fixture()
         oid = moft.oid_column()[0]
-        # An earlier instant for an existing object: the connecting
-        # segment already folded in would change.
         moft.extend_columns([oid], [0.0], [5.0], [5.0], validate=False)
-        assert store.update() == "rebuild"
+        assert store.update() == "delta"
         assert not store.is_stale()
         rebuilt = PreAggStore(moft, context.time, "day", elements)
         full = (0, len(store.partition) - 1)
         assert store.objects_through(elements, *full) == rebuilt.objects_through(
+            elements, *full
+        )
+        assert store.sample_count(elements, *full) == rebuilt.sample_count(
+            elements, *full
+        )
+        assert math.isclose(
+            store.dwell_time(elements, *full),
+            rebuilt.dwell_time(elements, *full),
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+        for g in range(len(store.partition)):
+            assert store.objects_through(
+                elements, g, g
+            ) == rebuilt.objects_through(elements, g, g)
+            assert store.distinct_objects(
+                elements, g, g
+            ) == rebuilt.distinct_objects(elements, g, g)
+
+    def test_out_of_order_interleaved_with_in_order_objects(self):
+        """A mixed delta batch: one reordered object among fresh ones."""
+        context, moft, elements, store = small_synth_fixture()
+        oid = moft.oid_column()[0]
+        moft.extend_columns(
+            [oid, "late-joiner", "late-joiner"],
+            [3.0, 45.0, 47.0],
+            [2.0, 1.0, 3.0],
+            [2.0, 1.0, 3.0],
+            validate=False,
+        )
+        assert store.update() == "delta"
+        rebuilt = PreAggStore(moft, context.time, "day", elements)
+        full = (0, len(store.partition) - 1)
+        assert store.objects_through(elements, *full) == rebuilt.objects_through(
+            elements, *full
+        )
+        assert store.sample_count(elements, *full) == rebuilt.sample_count(
+            elements, *full
+        )
+        assert math.isclose(
+            store.dwell_time(elements, *full),
+            rebuilt.dwell_time(elements, *full),
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+
+    def test_clone_is_independent_and_equal(self):
+        """A clone answers identically and isolates subsequent folds."""
+        context, moft, elements, store = small_synth_fixture()
+        full = (0, len(store.partition) - 1)
+        before_count = store.sample_count(elements, *full)
+        before_through = store.objects_through(elements, *full)
+        clone = store.clone()
+        assert clone.sample_count(elements, *full) == before_count
+        assert clone.objects_through(elements, *full) == before_through
+        moft.extend_columns(["c-new"], [49.0], [2.0], [2.0])
+        assert clone.update() == "delta"
+        # The source store never saw the fold.
+        assert store.sample_count(elements, *full) == before_count
+        assert store.objects_through(elements, *full) == before_through
+        rebuilt = PreAggStore(moft, context.time, "day", elements)
+        assert clone.objects_through(elements, *full) == rebuilt.objects_through(
             elements, *full
         )
 

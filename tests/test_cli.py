@@ -252,3 +252,51 @@ class TestServiceVerbsInProcess:
             "--client", "alice", "--through", "Ln:polygon",
         ]) == 2
         assert "in flight" in capsys.readouterr().err
+
+
+class TestIngest:
+    """The ``ingest`` verb: stream a CSV into a named world."""
+
+    @pytest.fixture()
+    def fig1_csv(self, tmp_path):
+        from repro.mo.io import write_csv
+        from repro.synth import figure1_instance
+
+        path = tmp_path / "fig1.csv"
+        write_csv(figure1_instance().context().moft("FMbus"), path)
+        return str(path)
+
+    def test_streams_a_csv_and_reports_accounting(self, fig1_csv):
+        result = run_cli(
+            "ingest", fig1_csv, "--world", "fig1",
+            "--batch-size", "4", "--lateness", "12",
+        )
+        assert result.returncode == 0
+        assert "12 submitted, 12 ingested, 0 late" in result.stdout
+        assert "1 segment(s)" in result.stdout  # close() compacts
+
+    def test_late_samples_are_reported_not_dropped(self, fig1_csv):
+        result = run_cli(
+            "ingest", fig1_csv, "--world", "fig1",
+            "--batch-size", "3", "--lateness", "2", "--compact-every", "2",
+        )
+        assert result.returncode == 0
+        out = result.stdout
+        assert "12 submitted" in out
+        submitted_line = next(
+            line for line in out.splitlines() if "submitted" in line
+        )
+        ingested = int(submitted_line.split("submitted,")[1].split()[0])
+        late = int(submitted_line.split("ingested,")[1].split()[0])
+        assert ingested + late == 12
+
+    def test_nonexistent_csv_exits_2_with_clean_error(self, tmp_path):
+        result = run_cli("ingest", str(tmp_path / "nope.csv"))
+        assert result.returncode == 2
+        assert result.stderr.startswith("error: ")
+        assert "Traceback" not in result.stderr
+
+    def test_unknown_world_is_rejected_by_argparse(self, fig1_csv):
+        result = run_cli("ingest", fig1_csv, "--world", "mars")
+        assert result.returncode != 0
+        assert "Traceback" not in result.stderr
