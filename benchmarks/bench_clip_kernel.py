@@ -1,0 +1,137 @@
+"""E25 — Vectorized clip kernel vs the per-segment scalar path.
+
+The dwell workload behind the Section 5 pre-aggregation build clips every
+trajectory segment against every candidate city polygon.  The seed path
+constructs a :class:`Segment` and calls ``Polygon.intersects_segment`` /
+``Polygon.clip_segment`` per pair; the kernel
+(:func:`repro.geometry.kernels.segments_dwell`) classifies whole segment
+batches against the polygon's cached edge arrays and only falls back to
+the scalar clip near the boundary.
+
+The acceptance bar: ≥5× on the 10k-segment city dwell workload, with the
+per-segment dwell vector *bitwise* equal to the scalar path — the kernel
+is exact by construction, and the equality assert runs unconditionally
+before any timing is reported.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, timed, write_bench_json
+from repro.geometry.kernels import kernel_backend, segments_dwell
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+from repro.obs import PipelineStats
+from repro.synth.city import CityConfig, build_city
+from repro.synth.movement import random_waypoint_moft
+
+N_OBJECTS = 100
+N_INSTANTS = 101
+N_POLYGONS = 6
+
+
+@pytest.fixture(scope="module")
+def dwell_workload():
+    """10k city trajectory segments plus a panel of city polygons."""
+    city = build_city(CityConfig(cols=10, rows=10, seed=23))
+    moft = random_waypoint_moft(
+        city.bounding_box,
+        n_objects=N_OBJECTS,
+        n_instants=N_INSTANTS,
+        speed=0.15,
+        seed=23,
+    )
+    x0s, y0s, x1s, y1s, dts = [], [], [], [], []
+    for oid in sorted(moft.objects()):
+        history = moft.history(oid)
+        t = np.array([s[0] for s in history])
+        x = np.array([s[1] for s in history])
+        y = np.array([s[2] for s in history])
+        x0s.append(x[:-1])
+        y0s.append(y[:-1])
+        x1s.append(x[1:])
+        y1s.append(y[1:])
+        dts.append(t[1:] - t[:-1])
+    x0 = np.concatenate(x0s)
+    y0 = np.concatenate(y0s)
+    x1 = np.concatenate(x1s)
+    y1 = np.concatenate(y1s)
+    dt = np.concatenate(dts)
+    assert len(dt) == N_OBJECTS * (N_INSTANTS - 1) == 10_000
+    elements = city.gis.layer("Lc").elements("polygon")
+    polygons = [elements[k] for k in sorted(elements)[:N_POLYGONS]]
+    return polygons, x0, y0, x1, y1, dt
+
+
+def per_segment_dwell(polygon, x0, y0, x1, y1, dt):
+    """The seed path: one Segment + clip_segment call per pair."""
+    n = len(dt)
+    dwell = np.zeros(n, dtype=np.float64)
+    hits = np.zeros(n, dtype=bool)
+    for i in range(n):
+        seg = Segment(
+            Point(float(x0[i]), float(y0[i])),
+            Point(float(x1[i]), float(y1[i])),
+        )
+        if not polygon.intersects_segment(seg):
+            continue
+        hits[i] = True
+        dt_i = float(dt[i])
+        total = 0.0
+        for s0, s1 in polygon.clip_segment(seg):
+            total += (s1 - s0) * dt_i
+        dwell[i] = total
+    return dwell, hits
+
+
+def test_clip_kernel_speedup(dwell_workload):
+    """The acceptance bar: ≥5× with bitwise-identical dwell vectors."""
+    polygons, x0, y0, x1, y1, dt = dwell_workload
+    obs = PipelineStats()
+
+    def scalar_pass():
+        return [per_segment_dwell(p, x0, y0, x1, y1, dt) for p in polygons]
+
+    def kernel_pass():
+        return [
+            segments_dwell(p, x0, y0, x1, y1, dt, obs=obs) for p in polygons
+        ]
+
+    slow_s, scalar_out = timed(scalar_pass, repeat=1)
+    fast_s, kernel_out = timed(kernel_pass, repeat=3)
+
+    # Exactness first: per-polygon dwell vectors and hit masks must be
+    # bit-identical to the seed path before any speedup is reported.
+    for (sd, sh), (kd, kh) in zip(scalar_out, kernel_out):
+        assert sd.tobytes() == kd.tobytes()
+        assert np.array_equal(sh, kh)
+
+    classified = obs.counters.get("clip_kernel_segments", 0)
+    fallbacks = obs.counters.get("clip_kernel_fallback", 0)
+    assert classified >= len(dt) * len(polygons)
+    speedup = slow_s / fast_s if fast_s else float("inf")
+    print_table(
+        f"dwell over {len(dt):,} segments x {len(polygons)} city polygons",
+        ["path", "seconds"],
+        [
+            ("per-segment (seed)", f"{slow_s:.4f}"),
+            (f"kernel ({kernel_backend()})", f"{fast_s:.4f}"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("scalar fallback share",
+             f"{fallbacks / max(classified, 1):.2%}"),
+        ],
+    )
+    write_bench_json(
+        "clip_kernel",
+        {
+            "segments": int(len(dt)),
+            "polygons": len(polygons),
+            "backend": kernel_backend(),
+            "scalar_seconds": slow_s,
+            "kernel_seconds": fast_s,
+            "speedup": speedup,
+            "classified_segments": int(classified),
+            "scalar_fallbacks": int(fallbacks),
+        },
+    )
+    assert speedup >= 5.0, f"kernel only {speedup:.1f}x faster"

@@ -4,9 +4,13 @@ Subcommands:
 
 * ``demo`` (the default) — renders the paper's Figure 1 as ASCII, runs
   the Remark 1 query and prints the 4/3 answer with its breakdown;
-* ``info PATH`` — reads a MOFT CSV dump (``oid,t,x,y`` with a header)
-  and prints a one-screen summary: rows, objects, time span, bounding
-  box;
+* ``info PATH`` — reads a MOFT dump (CSV with an ``oid,t,x,y`` header,
+  or a columnar ``.moft`` file — sniffed by magic) and prints a
+  one-screen summary: rows, objects, time span, bounding box;
+* ``convert SRC DST`` — converts between the CSV and columnar MOFT
+  formats (``repro.mo.storage``).  The source format is sniffed by
+  magic bytes; the destination format follows its extension (``.csv``
+  writes CSV, anything else writes columnar);
 * ``ingest PATH`` — streams a MOFT CSV through the watermarked ingest
   pipeline (``repro.ingest``) in batches against a named world's
   dimensions, then prints the accounting: samples
@@ -83,11 +87,20 @@ def _run_demo() -> int:
     return 0
 
 
-def _run_info(path: str) -> int:
+def _load_any_moft(path: str):
+    """Load ``path`` as columnar (sniffed by magic) or CSV; returns
+    ``(moft, format_name)``."""
+    from repro.mo import storage
     from repro.mo.io import read_csv
 
-    moft = read_csv(path)
-    print(f"MOFT CSV: {path}")
+    if storage.is_columnar_file(path):
+        return storage.load_moft(path), "columnar"
+    return read_csv(path), "CSV"
+
+
+def _run_info(path: str) -> int:
+    moft, fmt = _load_any_moft(path)
+    print(f"MOFT {fmt}: {path}")
     print(f"  rows:    {len(moft)}")
     print(f"  objects: {len(moft.objects())}")
     if len(moft):
@@ -98,6 +111,30 @@ def _run_info(path: str) -> int:
             f"  bbox:    ({box.min_x:g}, {box.min_y:g}) — "
             f"({box.max_x:g}, {box.max_y:g})"
         )
+    return 0
+
+
+def _run_convert(args) -> int:
+    import os
+
+    from repro.mo import storage
+    from repro.mo.io import write_csv
+
+    moft, src_fmt = _load_any_moft(args.src)
+    to_csv = os.path.splitext(args.dst)[1].lower() == ".csv"
+    if to_csv:
+        write_csv(moft, args.dst)
+        dst_fmt, nbytes = "CSV", os.path.getsize(args.dst)
+    else:
+        dst_fmt = "columnar"
+        nbytes = storage.save_moft(
+            moft, args.dst, include_index=not args.no_index
+        )
+    print(
+        f"converted {args.src} ({src_fmt}) -> {args.dst} ({dst_fmt}): "
+        f"{len(moft)} rows, {len(moft.objects())} objects, "
+        f"{nbytes} bytes"
+    )
     return 0
 
 
@@ -349,8 +386,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("demo", help="render Figure 1 and run the Remark 1 query")
-    info = sub.add_parser("info", help="summarize a MOFT CSV file")
-    info.add_argument("path", help="path to a MOFT CSV (oid,t,x,y header)")
+    info = sub.add_parser("info", help="summarize a MOFT file (CSV or columnar)")
+    info.add_argument(
+        "path", help="path to a MOFT CSV (oid,t,x,y header) or columnar file"
+    )
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a MOFT between CSV and the columnar format",
+    )
+    convert.add_argument(
+        "src", help="source MOFT file (CSV or columnar; sniffed by magic)"
+    )
+    convert.add_argument(
+        "dst",
+        help="destination path (.csv writes CSV, anything else columnar)",
+    )
+    convert.add_argument(
+        "--no-index", action="store_true",
+        help="omit the per-object sorted index from columnar output",
+    )
 
     ingest = sub.add_parser(
         "ingest",
@@ -471,6 +526,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "info":
             return _run_info(args.path)
+        if args.command == "convert":
+            return _run_convert(args)
         if args.command == "ingest":
             return _run_ingest(args)
         if args.command == "submit":

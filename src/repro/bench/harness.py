@@ -102,6 +102,25 @@ def large_moft(
     )
 
 
+def shard_row_counts(shard: MOFT) -> Dict[str, int]:
+    """Per-shard row/object tally — a picklable fn for executor fan-outs.
+
+    Benchmarks pass this to ``ShardedExecutor.aggregate_moft`` so the
+    measured payload is the executor's own serialization (descriptor or
+    pickled shard), not the cost of an elaborate aggregate.
+    """
+    return {"rows": len(shard), "objects": len(shard.objects())}
+
+
+def merge_row_counts(parts: Sequence[Dict[str, int]]) -> Dict[str, int]:
+    """Sum the tallies produced by :func:`shard_row_counts`."""
+    total = {"rows": 0, "objects": 0}
+    for part in parts:
+        total["rows"] += part["rows"]
+        total["objects"] += part["objects"]
+    return total
+
+
 def stage_rows(stats: "object") -> List[Tuple[object, ...]]:
     """Flatten a :class:`repro.obs.PipelineStats` into printable rows.
 

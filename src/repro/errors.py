@@ -63,6 +63,18 @@ class TrajectoryError(ReproError):
     """Invalid trajectory sample or trajectory operation."""
 
 
+class MoftStorageError(TrajectoryError):
+    """A columnar MOFT file or image is unreadable or unwritable.
+
+    Raised by :mod:`repro.mo.storage` for every defect in the on-disk
+    columnar format — truncated body, bad magic, unsupported version,
+    header/section bounds violations, corrupt per-object index — and on
+    save for tables whose object identifiers the format cannot encode.
+    The contract is *typed-or-nothing*: a corrupt file surfaces as this
+    class, never as a raw ``numpy``/``struct``/``json`` traceback.
+    """
+
+
 class PreAggError(ReproError):
     """A pre-aggregation store cannot be built, updated or queried."""
 

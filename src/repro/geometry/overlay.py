@@ -81,8 +81,22 @@ def geometry_contains(container: Geometry, contained: Geometry) -> bool:
             intervals = container.clip_segment(contained)
             return intervals == [(0.0, 1.0)]
         if isinstance(contained, Polyline):
-            return all(
-                geometry_contains(container, seg) for seg in contained.segments()
+            # Batched form of "every chain segment clips to [(0, 1)]" —
+            # the clip kernel answers far-field segments vectorized and
+            # falls back to Polygon.clip_segment near the boundary.
+            from repro.geometry import kernels
+
+            segments = contained.segments()
+            if not segments:
+                return True
+            import numpy as np
+
+            x0 = np.array([float(s.start.x) for s in segments])
+            y0 = np.array([float(s.start.y) for s in segments])
+            x1 = np.array([float(s.end.x) for s in segments])
+            y1 = np.array([float(s.end.y) for s in segments])
+            return bool(
+                kernels.segments_fully_inside(container, x0, y0, x1, y1).all()
             )
         if isinstance(contained, Polygon):
             return container.contains_polygon(contained)

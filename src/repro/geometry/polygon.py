@@ -85,6 +85,17 @@ class Polygon:
             self, "holes", tuple(_normalize_ring(hole) for hole in holes)
         )
 
+    def __getstate__(self) -> dict:
+        # The clip kernel (repro.geometry.kernels) caches this polygon's
+        # flattened edge arrays on the instance; keep pickled payloads
+        # lean by carrying only the defining rings across process
+        # boundaries — each worker rebuilds its own cache on first use.
+        return {"shell": self.shell, "holes": self.holes}
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "shell", state["shell"])
+        object.__setattr__(self, "holes", state["holes"])
+
     # -- constructors ------------------------------------------------------
 
     @classmethod

@@ -93,6 +93,16 @@ class MoftSnapshot:
                     )
             return self._table
 
+    def save(self, path, include_index: bool = True) -> int:
+        """Persist this version as one columnar file; returns the bytes.
+
+        The snapshot is immutable, so the file is a faithful, replayable
+        capture of exactly this version — ``MOFT.load`` brings it back
+        query-ready (mmap, per-object index prefilled) regardless of how
+        many delta segments the live chain had.
+        """
+        return self.table().save(path, include_index=include_index)
+
     def __repr__(self) -> str:
         return (
             f"MoftSnapshot({self.name!r}, ordinal={self.ordinal}, "

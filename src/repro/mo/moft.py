@@ -315,6 +315,35 @@ class MOFT:
             self._order.pop(oid, None)
         return first_new
 
+    # -- columnar persistence ----------------------------------------------------
+
+    def save(self, path, include_index: bool = True) -> int:
+        """Write this table as one columnar file (see :mod:`repro.mo.storage`).
+
+        Persists the ``(oid, t, x, y)`` columns plus (by default) the
+        per-object time-sorted index as mmap-able little-endian blobs.
+        Returns the number of bytes written.  Raises
+        :class:`~repro.errors.MoftStorageError` for object ids the
+        format cannot encode (anything but ``str``/``int``).
+        """
+        from repro.mo import storage
+
+        return storage.save_moft(self, path, include_index=include_index)
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "MOFT":
+        """Load a columnar file written by :meth:`save`.
+
+        With ``mmap=True`` (default) the columns are zero-copy views
+        over the mapped file and the stored per-object index pre-fills
+        the sorted-order cache.  Raises
+        :class:`~repro.errors.MoftStorageError` on truncated or corrupt
+        files — never a raw numpy/struct traceback.
+        """
+        from repro.mo import storage
+
+        return storage.load_moft(path, mmap=mmap)
+
     # -- row access ----------------------------------------------------------------
 
     def rows(self) -> Iterator[Dict[str, Hashable]]:

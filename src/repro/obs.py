@@ -40,6 +40,24 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
     ``serial``).  All zero on the fast path (no plan, no policy,
     ``failure_mode="raise"``).
 
+``clip_kernel_segments`` / ``clip_kernel_fallback``
+    The vectorized clip kernel (:mod:`repro.geometry.kernels`): segments
+    classified in batch, and the subset that fell back to the scalar
+    near-boundary path (``Polygon.clip_segment``).  The fallback share
+    is the kernel's efficiency figure; exactness is unconditional.
+
+``zero_copy_blocks`` / ``zero_copy_fallbacks``
+    Zero-copy shard transport (:mod:`repro.parallel.shm`): shared-memory
+    blocks created for fan-outs, and fan-outs that fell back to pickled
+    shard payloads (object ids not encodable as str/int).
+``bytes_serialized`` / ``peak_shard_payload_bytes``
+    Payload accounting, recorded only under
+    ``ShardedExecutor(track_payload_bytes=True)``: total pickled task
+    payload bytes across a fan-out, and the largest single payload (a
+    *gauge* holding the maximum seen).  Descriptor-sized payloads on the
+    zero-copy route, O(rows) on the pickled route — the figure
+    ``benchmarks/bench_zero_copy_shards.py`` gates on.
+
 ``preagg_hits`` / ``preagg_misses``
     Planner routing through the materialized pre-aggregation layer
     (:mod:`repro.preagg`): a hit means the covered part of the query was

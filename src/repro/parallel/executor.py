@@ -127,6 +127,45 @@ def _build_preagg_task(payload) -> ShardOutcome:
     return store, time.perf_counter() - start, stats
 
 
+# Zero-copy twins: same work, but the payload carries a
+# repro.parallel.shm.ShardDescriptor instead of the shard itself; the
+# worker attaches to the shared block and materializes the shard as
+# views — O(1) pickled bytes per task instead of O(rows).
+
+
+def _scan_task_zc(payload) -> ShardOutcome[Set[Hashable]]:
+    """Zero-copy variant of :func:`_scan_task`."""
+    from repro.parallel.shm import moft_from_descriptor
+
+    counter, descriptor = payload
+    stats = EvaluationStats()
+    start = time.perf_counter()
+    matched = counter.matching_objects(
+        moft_from_descriptor(descriptor), stats
+    )
+    return matched, time.perf_counter() - start, stats
+
+
+def _apply_task_zc(payload) -> ShardOutcome:
+    """Zero-copy variant of :func:`_apply_task`."""
+    from repro.parallel.shm import moft_from_descriptor
+
+    fn, descriptor = payload
+    start = time.perf_counter()
+    value = fn(moft_from_descriptor(descriptor))
+    return value, time.perf_counter() - start, None
+
+
+def _build_preagg_task_zc(payload) -> ShardOutcome:
+    """Zero-copy variant of :func:`_build_preagg_task`."""
+    descriptor = payload[0]
+    from repro.parallel.shm import moft_from_descriptor
+
+    return _build_preagg_task(
+        (moft_from_descriptor(descriptor),) + tuple(payload[1:])
+    )
+
+
 class ShardedExecutor:
     """Fans MOFT query work out over shards and merges exact partials.
 
@@ -162,6 +201,20 @@ class ShardedExecutor:
         routes execution through the resilient path even under
         ``failure_mode="raise"`` so injected faults surface as typed
         errors carrying the trace.
+    zero_copy:
+        Whether MOFT shard fan-outs ship shards as shared-memory
+        descriptors (:mod:`repro.parallel.shm`) instead of pickled
+        tables.  ``None`` (default) enables it exactly for the
+        ``processes`` backend, where crossing the pool boundary copies;
+        ``True``/``False`` force it.  Worlds whose object ids the
+        columnar format cannot encode fall back to pickled shards
+        transparently.
+    track_payload_bytes:
+        When True, every fan-out records the pickled size of its task
+        payloads on the observer: ``bytes_serialized`` (counter, total
+        across fan-outs) and ``peak_shard_payload_bytes`` (gauge, the
+        largest single payload seen).  Off by default — measuring costs
+        a serialization pass, so only benchmarks/diagnostics turn it on.
     """
 
     def __init__(
@@ -173,6 +226,8 @@ class ShardedExecutor:
         failure_mode: str = "raise",
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[object] = None,
+        zero_copy: Optional[bool] = None,
+        track_payload_bytes: bool = False,
     ) -> None:
         self.backend = get_backend(backend, max_workers)
         self.n_shards = n_shards if n_shards is not None else available_cpus()
@@ -189,6 +244,8 @@ class ShardedExecutor:
         self.failure_mode = failure_mode
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
+        self.zero_copy = zero_copy
+        self.track_payload_bytes = track_payload_bytes
 
     def __repr__(self) -> str:
         return (
@@ -198,6 +255,71 @@ class ShardedExecutor:
         )
 
     # -- the generic fan-out/merge step ---------------------------------------
+
+    def _use_zero_copy(self) -> bool:
+        """Effective zero-copy setting (default: processes backend only)."""
+        if self.zero_copy is not None:
+            return self.zero_copy
+        return self.backend.name == "processes"
+
+    def _account_payloads(self, payloads: Sequence[object]) -> None:
+        """Record pickled payload sizes when ``track_payload_bytes`` is on."""
+        if not self.track_payload_bytes or not payloads:
+            return
+        import pickle
+
+        sizes = [
+            len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+            for payload in payloads
+        ]
+        self.obs.incr("bytes_serialized", sum(sizes))
+        self.obs.gauge(
+            "peak_shard_payload_bytes",
+            max(self.obs.count("peak_shard_payload_bytes"), max(sizes)),
+        )
+
+    def _fanout_shards(
+        self,
+        shards: Sequence[MOFT],
+        make_payload: Callable[[object], object],
+        plain_task: Callable,
+        zc_task: Callable,
+        merge: Callable[[List[M]], object],
+        observers: Sequence[PipelineStats] = (),
+    ) -> object:
+        """Fan shard work out, shipping shards zero-copy when enabled.
+
+        ``make_payload`` builds one task payload from either a MOFT
+        shard (pickle path) or a :class:`~repro.parallel.shm
+        .ShardDescriptor` (zero-copy path).  The shared block lives
+        exactly as long as the fan-out: it is unlinked in a ``finally``,
+        so neither task failures, retries, nor injected faults can leak
+        a segment.  Worlds the columnar format cannot encode (exotic
+        object-id types) fall back to pickled shards.
+        """
+        if self._use_zero_copy():
+            from repro.errors import MoftStorageError
+            from repro.parallel.shm import create_shard_block
+
+            try:
+                block, descriptors = create_shard_block(shards)
+            except MoftStorageError:
+                self.obs.incr("zero_copy_fallbacks")
+            else:
+                payloads = [make_payload(d) for d in descriptors]
+                self._account_payloads(payloads)
+                self.obs.incr("zero_copy_blocks")
+                try:
+                    return self.map_shards(
+                        zc_task, payloads, merge, observers=observers
+                    )
+                finally:
+                    block.close()
+        payloads = [make_payload(shard) for shard in shards]
+        self._account_payloads(payloads)
+        return self.map_shards(
+            plain_task, payloads, merge, observers=observers
+        )
 
     def _resilient(self) -> bool:
         """Whether fan-outs route through the retry/fault-injection path."""
@@ -305,9 +427,11 @@ class ShardedExecutor:
         if not shards:
             return set()
         observers = (stats,) if stats is not None else ()
-        return self.map_shards(
+        return self._fanout_shards(
+            shards,
+            lambda shard: (counter, shard),
             _scan_task,
-            [(counter, shard) for shard in shards],
+            _scan_task_zc,
             union_ids,
             observers=observers,
         )
@@ -383,13 +507,14 @@ class ShardedExecutor:
                 layer=layer, kind=kind, name=name,
             )
             return store
-        payloads = [
-            (shard, time_dim, granule_level, dict(geometries), layer, kind, name)
-            for shard in shards
-        ]
-        return self.map_shards(
+        return self._fanout_shards(
+            shards,
+            lambda shard: (
+                shard, time_dim, granule_level, dict(geometries),
+                layer, kind, name,
+            ),
             _build_preagg_task,
-            payloads,
+            _build_preagg_task_zc,
             lambda stores: PreAggStore.merge(stores, moft, snapshot),
         )
 
@@ -419,10 +544,16 @@ class ShardedExecutor:
             raise EvaluationError(
                 f"unknown partition {partition!r}; expected 'objects' or 'time'"
             )
-        payloads = [(shard_fn, shard) for shard in shards if len(shard)]
-        if not payloads:
+        shards = [shard for shard in shards if len(shard)]
+        if not shards:
             return merge([])
-        return self.map_shards(_apply_task, payloads, merge)
+        return self._fanout_shards(
+            shards,
+            lambda shard: (shard_fn, shard),
+            _apply_task,
+            _apply_task_zc,
+            merge,
+        )
 
 
 class ShardedPietQLExecutor(PietQLExecutor):

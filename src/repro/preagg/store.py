@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.errors import PreAggError
 from repro.geometry.index import UniformGridIndex, index_for_geometries
+from repro.geometry.kernels import segments_dwell
 from repro.geometry.overlay import geometries_intersect
 from repro.geometry.point import BoundingBox, Point
 from repro.geometry.polygon import Polygon
@@ -335,7 +336,14 @@ class PreAggStore:
                 )
                 for g, code in zip(codes[rows].tolist(), row_code[rows].tolist()):
                     delta.add_present(gid, g, code)
-        # Segment pass: per object, consecutive sample pairs.
+        # Segment pass, batched: gather every consecutive-sample segment
+        # (object by object in interning order, ascending time within
+        # each object) into flat arrays, then answer each polygon over
+        # the whole batch with the clip kernel.  Per polygon the hits
+        # apply in ascending batch order, which is exactly the order the
+        # per-segment walk folded them in — so the float dwell sums and
+        # the span-record sequence are unchanged.
+        seg_chunks: List[Tuple[np.ndarray, ...]] = []
         for oid, code in self._oid_code.items():
             times, rows = moft._object_order(oid)
             if times.shape[0] < 2:
@@ -346,24 +354,58 @@ class PreAggStore:
                     )
                 continue
             granules = codes[rows]
-            for i in range(times.shape[0] - 1):
-                r0, r1 = int(rows[i]), int(rows[i + 1])
-                self._fold_segment(
-                    delta,
-                    code,
-                    float(times[i]),
-                    float(times[i + 1]),
-                    float(x[r0]),
-                    float(y[r0]),
-                    float(x[r1]),
-                    float(y[r1]),
-                    int(granules[i]),
-                    int(granules[i + 1]),
+            xr, yr = x[rows], y[rows]
+            seg_chunks.append(
+                (
+                    times[:-1], times[1:],
+                    xr[:-1], yr[:-1], xr[1:], yr[1:],
+                    granules[:-1], granules[1:],
+                    np.full(times.shape[0] - 1, code, dtype=np.int64),
                 )
+            )
             last_row = int(rows[-1])
             self._last[code] = (
                 float(times[-1]), float(x[last_row]), float(y[last_row])
             )
+        if seg_chunks:
+            st0, st1, sx0, sy0, sx1, sy1, sg0, sg1, scode = (
+                np.concatenate([chunk[k] for chunk in seg_chunks])
+                for k in range(9)
+            )
+            sdt = st1 - st0
+            sminx = np.minimum(sx0, sx1)
+            smaxx = np.maximum(sx0, sx1)
+            sminy = np.minimum(sy0, sy1)
+            smaxy = np.maximum(sy0, sy1)
+            for gid in self.gids:
+                polygon = self.geometries[gid]
+                box = polygon.bbox
+                cand = np.flatnonzero(
+                    ~(
+                        (sminx > box.max_x)
+                        | (smaxx < box.min_x)
+                        | (sminy > box.max_y)
+                        | (smaxy < box.min_y)
+                    )
+                )
+                if not cand.size:
+                    continue
+                dwell, hits = segments_dwell(
+                    polygon,
+                    sx0[cand], sy0[cand], sx1[cand], sy1[cand],
+                    sdt[cand],
+                    obs=self.obs,
+                )
+                cells = self._cells[gid]
+                for pos in np.flatnonzero(hits):
+                    i = int(cand[pos])
+                    g0, g1 = int(sg0[i]), int(sg1[i])
+                    code = int(scode[i])
+                    if g0 == g1:
+                        cells.dwell[g0] += dwell[pos]
+                        delta.add_passer(gid, g0, code)
+                    else:
+                        delta.add_span(gid, code, g0, g1, dwell[pos])
         self._apply_sets(delta)
 
     def _fold_segment(

@@ -23,6 +23,11 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.geometry.kernels import (
+    _min_dist2_to_edges,
+    _ring_parity,
+    polygon_edge_arrays,
+)
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
 from repro.mo.moft import MOFT
@@ -35,46 +40,28 @@ def polygon_contains_batch(
 
     Crossing-number over all rings (even-odd, so holes work), with an
     exact scalar re-check for points within a small band of the boundary.
+    The edge vectors come from the polygon's cached
+    :func:`~repro.geometry.kernels.polygon_edge_arrays`, so repeated
+    batches against the same polygon skip the ring flattening.
     """
     xs = np.asarray(xs, dtype=float)
     ys = np.asarray(ys, dtype=float)
+    edges = polygon_edge_arrays(polygon)
+    offsets = edges.ring_offsets
     inside = np.zeros(xs.shape, dtype=bool)
-    rings = [polygon.shell] + list(polygon.holes)
-    for ring in rings:
-        n = len(ring)
-        ring_x = np.array([float(p.x) for p in ring])
-        ring_y = np.array([float(p.y) for p in ring])
-        crossings = np.zeros(xs.shape, dtype=bool)
-        for i in range(n):
-            ax, ay = ring_x[i], ring_y[i]
-            bx, by = ring_x[(i + 1) % n], ring_y[(i + 1) % n]
-            straddles = (ay > ys) != (by > ys)
-            if not straddles.any():
-                continue
-            with np.errstate(divide="ignore", invalid="ignore"):
-                x_cross = ax + (ys - ay) * (bx - ax) / (by - ay)
-            crossings ^= straddles & (xs < x_cross)
-        inside ^= crossings
+    for ring_index in range(len(offsets) - 1):
+        r0, r1 = int(offsets[ring_index]), int(offsets[ring_index + 1])
+        inside ^= _ring_parity(
+            xs, ys,
+            edges.ax[r0:r1], edges.ay[r0:r1],
+            edges.bx[r0:r1], edges.by[r0:r1],
+        )
     # Boundary band: re-check points close to any edge exactly (the bulk
     # test treats the boundary inconsistently).
-    box = polygon.bbox
-    tolerance = 1e-9 * max(box.width, box.height, 1.0)
-    near_boundary = np.zeros(xs.shape, dtype=bool)
-    for ring in rings:
-        n = len(ring)
-        for i in range(n):
-            ax, ay = float(ring[i].x), float(ring[i].y)
-            bx, by = float(ring[(i + 1) % n].x), float(ring[(i + 1) % n].y)
-            dx, dy = bx - ax, by - ay
-            length_sq = dx * dx + dy * dy
-            if length_sq == 0:
-                dist_sq = (xs - ax) ** 2 + (ys - ay) ** 2
-            else:
-                s = np.clip(
-                    ((xs - ax) * dx + (ys - ay) * dy) / length_sq, 0.0, 1.0
-                )
-                dist_sq = (xs - (ax + s * dx)) ** 2 + (ys - (ay + s * dy)) ** 2
-            near_boundary |= dist_sq <= tolerance * tolerance
+    near_boundary = (
+        _min_dist2_to_edges(xs, ys, edges)
+        <= edges.tolerance * edges.tolerance
+    )
     for index in np.flatnonzero(near_boundary):
         inside[index] = polygon.contains_point(
             Point(float(xs[index]), float(ys[index]))

@@ -1,0 +1,204 @@
+"""The vectorized clip kernel is *exact*: bit-equal to the scalar path.
+
+The kernel's contract is exactness by construction — status 0/1 answers
+are only given to segments provably far from any boundary, and
+everything else falls back to ``Polygon.clip_segment``.  These tests pin
+that contract with randomized and property-based equivalence against the
+scalar geometry, cross-check the numba-compilable loop form against the
+numpy implementation, and cover the backend feature flag (numba degrades
+to numpy when absent, ``scalar`` disables classification entirely).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import kernels
+from repro.geometry.kernels import (
+    classify_segments,
+    clip_segments_batch,
+    kernel_backend,
+    polygon_edge_arrays,
+    segments_dwell,
+    segments_fully_inside,
+    segments_intersect,
+    set_kernel_backend,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.segment import Segment
+
+
+@pytest.fixture(autouse=True)
+def reset_backend():
+    yield
+    set_kernel_backend("auto")
+
+
+SQUARE = Polygon([Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)])
+HOLED = Polygon(
+    [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)],
+    holes=[[Point(4, 4), Point(6, 4), Point(6, 6), Point(4, 6)]],
+)
+DIAMOND = Polygon([Point(5, -1), Point(11, 5), Point(5, 11), Point(-1, 5)])
+POLYGONS = [SQUARE, HOLED, DIAMOND]
+
+
+def random_segments(n, rng, lo=-3.0, hi=13.0):
+    x0 = rng.uniform(lo, hi, n)
+    y0 = rng.uniform(lo, hi, n)
+    x1 = rng.uniform(lo, hi, n)
+    y1 = rng.uniform(lo, hi, n)
+    # Mix in axis-aligned, degenerate, boundary-hugging and
+    # vertex-touching segments — the cases a sloppy kernel gets wrong.
+    x1[::7] = x0[::7]
+    y1[::11] = y0[::11]
+    x0[::13], y0[::13] = 0.0, rng.uniform(lo, hi, n)[::13]
+    x0[::17], y0[::17] = 10.0, 10.0
+    x1[5::17], y1[5::17] = 0.0, 0.0
+    return x0, y0, x1, y1
+
+
+def scalar_clips(polygon, x0, y0, x1, y1):
+    return [
+        polygon.clip_segment(
+            Segment(Point(float(a), float(b)), Point(float(c), float(d)))
+        )
+        for a, b, c, d in zip(x0, y0, x1, y1)
+    ]
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("polygon", POLYGONS, ids=["square", "holed", "diamond"])
+    def test_clips_bit_equal_to_scalar(self, polygon):
+        rng = np.random.default_rng(7)
+        x0, y0, x1, y1 = random_segments(2000, rng)
+        batch = clip_segments_batch(polygon, x0, y0, x1, y1)
+        assert batch == scalar_clips(polygon, x0, y0, x1, y1)
+
+    @pytest.mark.parametrize("polygon", POLYGONS, ids=["square", "holed", "diamond"])
+    def test_dwell_and_masks_match_scalar(self, polygon):
+        rng = np.random.default_rng(11)
+        x0, y0, x1, y1 = random_segments(1500, rng)
+        dt = rng.uniform(0.1, 3.0, 1500)
+        dwell, hits = segments_dwell(polygon, x0, y0, x1, y1, dt)
+        inside = segments_fully_inside(polygon, x0, y0, x1, y1)
+        intersects = segments_intersect(polygon, x0, y0, x1, y1)
+        for i in range(1500):
+            seg = Segment(
+                Point(float(x0[i]), float(y0[i])),
+                Point(float(x1[i]), float(y1[i])),
+            )
+            clips = polygon.clip_segment(seg)
+            expected = 0.0
+            for s0, s1 in clips:
+                expected += (s1 - s0) * float(dt[i])
+            assert dwell[i] == expected  # bitwise: same expression tree
+            assert hits[i] == polygon.intersects_segment(seg)
+            assert inside[i] == (clips == [(0.0, 1.0)])
+            assert intersects[i] == polygon.intersects_segment(seg)
+
+    def test_status_codes_are_sound(self):
+        """Status 1 implies the scalar clip is the full segment; 0 none."""
+        rng = np.random.default_rng(13)
+        x0, y0, x1, y1 = random_segments(3000, rng)
+        status = classify_segments(HOLED, x0, y0, x1, y1)
+        assert set(np.unique(status)) <= {0, 1, 2}
+        clips = scalar_clips(HOLED, x0, y0, x1, y1)
+        for i, s in enumerate(status):
+            if s == 1:
+                assert clips[i] == [(0.0, 1.0)]
+            elif s == 0:
+                assert clips[i] == []
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.tuples(
+            *(
+                st.floats(min_value=-4, max_value=14, allow_nan=False)
+                for _ in range(4)
+            )
+        )
+    )
+    def test_single_segment_property(self, coords):
+        a, b, c, d = coords
+        seg = Segment(Point(a, b), Point(c, d))
+        for polygon in POLYGONS:
+            batch = clip_segments_batch(
+                polygon,
+                np.array([a]), np.array([b]), np.array([c]), np.array([d]),
+            )
+            assert batch == [polygon.clip_segment(seg)]
+
+
+class TestLoopFormMatchesNumpy:
+    @pytest.mark.parametrize("polygon", POLYGONS, ids=["square", "holed", "diamond"])
+    def test_statuses_identical(self, polygon):
+        rng = np.random.default_rng(17)
+        x0, y0, x1, y1 = random_segments(2500, rng)
+        edges = polygon_edge_arrays(polygon)
+        via_numpy = kernels._classify_chunk_numpy(x0, y0, x1, y1, edges)
+        via_loops = kernels._classify_loops(
+            x0, y0, x1, y1,
+            edges.ax, edges.ay, edges.bx, edges.by, edges.ring_offsets,
+            edges.bminx, edges.bminy, edges.bmaxx, edges.bmaxy,
+            edges.tolerance,
+        )
+        np.testing.assert_array_equal(via_numpy, via_loops)
+
+
+class TestBackendFlag:
+    def test_scalar_backend_still_exact(self):
+        assert set_kernel_backend("scalar") == "scalar"
+        rng = np.random.default_rng(19)
+        x0, y0, x1, y1 = random_segments(300, rng)
+        status = classify_segments(SQUARE, x0, y0, x1, y1)
+        assert (status == 2).all()  # everything takes the scalar path
+        batch = clip_segments_batch(SQUARE, x0, y0, x1, y1)
+        assert batch == scalar_clips(SQUARE, x0, y0, x1, y1)
+
+    def test_numba_degrades_to_numpy_when_missing(self):
+        effective = set_kernel_backend("numba")
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            assert effective == "numpy"
+        else:
+            assert effective == "numba"
+
+    def test_auto_resolves_to_numpy(self):
+        assert set_kernel_backend("auto") in ("numpy",)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(GeometryError):
+            set_kernel_backend("gpu")
+
+    def test_env_variable_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIP_KERNEL", "scalar")
+        assert set_kernel_backend(None) == "scalar"
+        monkeypatch.delenv("REPRO_CLIP_KERNEL")
+        assert set_kernel_backend(None) == kernel_backend() != "scalar"
+
+
+class TestEdgeArrayCache:
+    def test_cached_on_first_use(self):
+        polygon = Polygon.rectangle(0, 0, 5, 5)
+        assert getattr(polygon, "_edge_arrays", None) is None
+        edges = polygon_edge_arrays(polygon)
+        assert polygon_edge_arrays(polygon) is edges
+
+    def test_pickle_stays_lean_and_functional(self):
+        polygon = Polygon.rectangle(0, 0, 5, 5)
+        polygon_edge_arrays(polygon)  # populate the cache
+        clone = pickle.loads(pickle.dumps(polygon))
+        # The cache is rebuilt on demand, not shipped in the pickle.
+        assert getattr(clone, "_edge_arrays", None) is None
+        assert clone == polygon
+        seg = Segment(Point(1, 1), Point(4, 4))
+        assert clone.clip_segment(seg) == polygon.clip_segment(seg)
+        x = np.array([2.0])
+        y = np.array([2.0])
+        assert clip_segments_batch(clone, x, y, x + 1, y + 1) == [[(0.0, 1.0)]]

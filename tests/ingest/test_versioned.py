@@ -162,3 +162,33 @@ class TestCompact:
         publish_rows(chain, [("b", 1.0, 2.0, 2.0)])
         head = chain.head
         assert head.table() is head.table()
+
+
+class TestSave:
+    def test_snapshot_saves_as_columnar_file(self, tmp_path):
+        chain = VersionedMoft("FM")
+        publish_rows(chain, [("a", 0.0, 1.0, 1.0), ("b", 0.0, 2.0, 2.0)])
+        publish_rows(chain, [("a", 1.0, 1.5, 1.5)])
+        snap = chain.head
+        path = tmp_path / "v2.moft"
+        nbytes = snap.save(path)
+        assert nbytes == path.stat().st_size > 0
+
+        loaded = MOFT.load(path)
+        want = columns_of(snap.table())
+        got = columns_of(loaded)
+        assert want[0] == got[0]
+        for lhs, rhs in zip(want[1:], got[1:]):
+            assert np.array_equal(lhs, rhs)
+
+    def test_saved_version_is_pinned_against_later_publishes(self, tmp_path):
+        """The file captures exactly the saved version, not the live head."""
+        chain = VersionedMoft("FM")
+        pinned = publish_rows(chain, [("a", 0.0, 1.0, 1.0)])
+        publish_rows(chain, [("b", 1.0, 2.0, 2.0)])
+        path = tmp_path / "pinned.moft"
+        pinned.save(path)
+        loaded = MOFT.load(path)
+        assert len(loaded) == 1
+        assert list(loaded.oid_column()) == ["a"]
+        assert chain.head.rows == 2

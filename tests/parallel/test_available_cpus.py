@@ -1,0 +1,39 @@
+"""Regression: worker sizing respects the scheduler affinity mask.
+
+``available_cpus`` once read ``os.cpu_count()``, over-subscribing
+containers pinned to a subset of the host's cores (a cgroup/affinity
+mask of 2 on a 64-core host would spawn 64 workers).  The fix reads
+``os.sched_getaffinity(0)`` and these tests keep it that way.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel.backends import available_cpus
+
+
+class TestAvailableCpus:
+    def test_matches_affinity_mask_when_available(self):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        assert available_cpus() == max(1, len(os.sched_getaffinity(0)))
+
+    def test_affinity_beats_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_cpus() == 2
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(), raising=False)
+        assert available_cpus() == 1
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert available_cpus() == 8
+
+    def test_cpu_count_none_still_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_cpus() == 1

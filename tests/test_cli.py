@@ -103,6 +103,65 @@ class TestInfo:
         assert "Traceback" not in result.stderr
 
 
+class TestConvert:
+    # Already in write_csv's canonical float rendering, so the
+    # csv -> columnar -> csv round-trip below compares byte-identical.
+    CSV = "oid,t,x,y\nO1,0.0,1.0,2.0\nO1,1.0,2.0,3.0\nO2,0.0,5.0,5.0\n"
+
+    def test_csv_to_columnar_and_back_is_byte_identical(self, tmp_path):
+        csv = tmp_path / "moft.csv"
+        csv.write_text(self.CSV)
+        col = tmp_path / "moft.moft"
+        result = run_cli("convert", str(csv), str(col))
+        assert result.returncode == 0
+        assert "3 rows" in result.stdout and "2 objects" in result.stdout
+        assert col.stat().st_size > 0
+
+        back = tmp_path / "back.csv"
+        result = run_cli("convert", str(col), str(back))
+        assert result.returncode == 0
+        assert back.read_text() == self.CSV
+
+    def test_info_reads_columnar_files(self, tmp_path):
+        csv = tmp_path / "moft.csv"
+        csv.write_text(self.CSV)
+        col = tmp_path / "moft.moft"
+        assert run_cli("convert", str(csv), str(col)).returncode == 0
+        result = run_cli("info", str(col))
+        assert result.returncode == 0
+        assert "columnar" in result.stdout
+        assert "rows:    3" in result.stdout
+        assert "objects: 2" in result.stdout
+
+    def test_no_index_flag_writes_smaller_file(self, tmp_path):
+        csv = tmp_path / "moft.csv"
+        csv.write_text(self.CSV)
+        full = tmp_path / "full.moft"
+        lean = tmp_path / "lean.moft"
+        assert run_cli("convert", str(csv), str(full)).returncode == 0
+        assert (
+            run_cli("convert", "--no-index", str(csv), str(lean)).returncode
+            == 0
+        )
+        assert lean.stat().st_size < full.stat().st_size
+
+    def test_corrupt_columnar_exits_2_with_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.moft"
+        bad.write_bytes(b"MOFTCOL\x00" + b"\xff" * 16)
+        result = run_cli("info", str(bad))
+        assert result.returncode == 2
+        assert result.stderr.startswith("error: ")
+        assert "Traceback" not in result.stderr
+
+    def test_missing_source_exits_2_with_clean_error(self, tmp_path):
+        result = run_cli(
+            "convert", str(tmp_path / "nope.csv"), str(tmp_path / "out.moft")
+        )
+        assert result.returncode == 2
+        assert result.stderr.startswith("error: ")
+        assert "Traceback" not in result.stderr
+
+
 class TestServiceVerbsSubprocess:
     """submit → serve --drain → status → result as real processes.
 
