@@ -16,6 +16,11 @@ Subcommands:
   dimensions, then prints the accounting: samples
   submitted/ingested/late, flushes, compactions, final snapshot
   version (see ``docs/ingest.md``);
+* ``poi`` — builds a POI world (Figure 1 with its places of interest,
+  or the synthetic city with schools/stores promoted to discs and a
+  stop-biased population), runs the stop/move segmentation and prints
+  visits, dwell, top-k places and the planner's EXPLAIN route (see
+  ``docs/poi.md``);
 * the query-service verbs (see ``docs/service.md``), all sharing a
   SQLite-backed durable job queue file (``--db``):
 
@@ -375,6 +380,81 @@ def _run_result(args) -> int:
         queue.close()
 
 
+
+def _run_poi(args) -> int:
+    from repro.query.poi import PoiQueryBuilder
+    from repro.query.region import EvaluationContext
+
+    if args.world == "fig1":
+        from repro.synth import figure1_instance
+
+        world = figure1_instance(with_pois=True)
+        context = world.context()
+        moft_name, layer = "FMbus", "Lp"
+        granule = args.granule or "hour"
+    else:
+        from datetime import datetime
+
+        import numpy as np
+
+        from repro.synth import (
+            CityConfig,
+            build_city,
+            install_city_pois,
+            stop_biased_moft,
+        )
+        from repro.temporal.calendar import hourly
+        from repro.temporal.timedim import TimeDimension
+
+        city = build_city(
+            CityConfig(cols=6, rows=6), rng=np.random.default_rng(20060109)
+        )
+        pois = install_city_pois(city, radius=args.radius)
+        n_instants = 100
+        time_dim = TimeDimension.from_mapping(
+            hourly(datetime(2006, 1, 9, 0, 0)), range(n_instants)
+        )
+        moft = stop_biased_moft(pois, args.objects, n_instants)
+        context = EvaluationContext(city.gis, time_dim, moft)
+        moft_name, layer = "FM", "Lp"
+        granule = args.granule or "day"
+
+    builder = (
+        PoiQueryBuilder(layer, moft_name)
+        .per(granule)
+        .with_min_dwell(args.min_dwell)
+    )
+    visits = builder.visits(context)
+    dwell = builder.dwell(context)
+    topk = builder.top_k(context, args.k)
+    plan = builder.explain(context, measure="topk")
+    n_pois = len(context.gis.layer(layer).elements("poi"))
+    print(
+        f"POI world {args.world!r}: {n_pois} places, "
+        f"granule level {granule!r}, min_dwell {args.min_dwell:g}"
+    )
+    print(f"  visited cells: {len(visits)}, total visits "
+          f"{sum(visits.values())}, dwell {sum(dwell.values()):.3f}")
+    for member in sorted(topk, key=repr):
+        ranked = ", ".join(
+            f"{gid}×{count}" for gid, count in topk[member]
+        )
+        print(f"  top-{args.k} @ {member}: {ranked}")
+    print()
+    print(plan.render())
+    counters = context.obs.counters
+    interesting = (
+        "stop_episodes",
+        "poi_visits",
+        "poi_preagg_hits",
+        "disc_kernel_segments",
+    )
+    shown = {k: counters[k] for k in interesting if k in counters}
+    if shown:
+        print("counters: " + ", ".join(f"{k}={v}" for k, v in shown.items()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -432,6 +512,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact-every", type=int, default=8,
         help="compact the segment chain every N segments (default 8; "
         "0 disables background compaction)",
+    )
+
+    poi = sub.add_parser(
+        "poi",
+        help="run the places-of-interest stop/move aggregation demo",
+    )
+    poi.add_argument(
+        "--world", default="fig1", choices=("fig1", "synth"),
+        help="POI world: Figure 1 places or the synthetic city "
+        "(default fig1)",
+    )
+    poi.add_argument(
+        "--granule", default=None,
+        help="Time granule level (default: hour for fig1, day for synth)",
+    )
+    poi.add_argument(
+        "--radius", type=float, default=None,
+        help="synth disc radius (default: a quarter block)",
+    )
+    poi.add_argument(
+        "--min-dwell", type=float, default=0.0, dest="min_dwell",
+        help="minimum stop duration in event-time units (default 0)",
+    )
+    poi.add_argument(
+        "--k", type=int, default=3,
+        help="places per granule in the top-k ranking (default 3)",
+    )
+    poi.add_argument(
+        "--objects", type=int, default=40,
+        help="synth population size (default 40)",
     )
 
     submit = sub.add_parser(
@@ -530,6 +640,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_convert(args)
         if args.command == "ingest":
             return _run_ingest(args)
+        if args.command == "poi":
+            return _run_poi(args)
         if args.command == "submit":
             return _run_submit(args)
         if args.command == "serve":

@@ -7,6 +7,7 @@ evaluation strategy.
 """
 
 from repro.geometry.point import BoundingBox, Point
+from repro.geometry.poi import Poi
 from repro.geometry.segment import Segment
 from repro.geometry.polyline import Polyline
 from repro.geometry.polygon import Polygon
@@ -30,6 +31,7 @@ from repro.geometry.io import from_geojson, from_wkt, to_geojson, to_wkt
 __all__ = [
     "BoundingBox",
     "Point",
+    "Poi",
     "Segment",
     "Polyline",
     "Polygon",

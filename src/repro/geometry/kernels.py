@@ -46,6 +46,7 @@ Backends (``REPRO_CLIP_KERNEL`` env var or :func:`set_kernel_backend`):
 
 from __future__ import annotations
 
+import math
 import os
 from typing import List, Optional, Tuple
 
@@ -624,10 +625,166 @@ def segments_fully_inside(
     return inside
 
 
+# -- disc (POI) kernels -------------------------------------------------------
+#
+# The stop/move machinery (:mod:`repro.poi`) clips trajectory segments
+# against closed discs.  Unlike the polygon kernel there is no scalar
+# fallback class: the quadratic |p0 + w*d - c|^2 = r^2 solves every
+# segment outright, so the batched fold below IS the kernel path and the
+# scalar fold exists only as its bit-identical reference (pinned by
+# tests/poi/test_dwell_fold_kernel.py).  Both evaluate the exact same
+# IEEE-754 expression sequence per element, hence bitwise equality.
+
+
+def disc_clip_scalar(
+    cx: float,
+    cy: float,
+    r: float,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+) -> Tuple[float, float]:
+    """Parameter interval ``[lo, hi]`` of one segment inside the closed disc.
+
+    Returns ``(0.0, 0.0)`` (empty) when the segment misses the disc or
+    only grazes it tangentially (measure-zero contact).  A stationary
+    segment (coincident endpoints) is wholly in (``(0.0, 1.0)``) or
+    wholly out by endpoint membership.
+    """
+    dx = x1 - x0
+    dy = y1 - y0
+    fx = x0 - cx
+    fy = y0 - cy
+    a = dx * dx + dy * dy
+    c = fx * fx + fy * fy - r * r
+    if a == 0.0:
+        return (0.0, 1.0) if c <= 0.0 else (0.0, 0.0)
+    b = fx * dx + fy * dy
+    disc = b * b - a * c
+    if disc <= 0.0:
+        return (0.0, 0.0)
+    sq = math.sqrt(disc)
+    w1 = (-b - sq) / a
+    w2 = (-b + sq) / a
+    lo = 0.0 if w1 < 0.0 else (1.0 if w1 > 1.0 else w1)
+    hi = 0.0 if w2 < 0.0 else (1.0 if w2 > 1.0 else w2)
+    return (lo, hi)
+
+
+def disc_clip_batch(
+    cx: float,
+    cy: float,
+    r: float,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    obs=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`disc_clip_scalar` over segment arrays.
+
+    Bitwise-identical to the scalar fold: every element goes through the
+    same expression sequence (products, discriminant, sqrt, division,
+    branch-style clamp), just vectorized.  The ``scalar`` kernel backend
+    routes through the reference loop outright.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    y0 = np.asarray(y0, dtype=np.float64)
+    x1 = np.asarray(x1, dtype=np.float64)
+    y1 = np.asarray(y1, dtype=np.float64)
+    n = x0.shape[0]
+    if obs is not None:
+        obs.incr("disc_kernel_segments", n)
+    if kernel_backend() == "scalar":
+        lo = np.zeros(n, dtype=np.float64)
+        hi = np.zeros(n, dtype=np.float64)
+        cxf, cyf, rf = float(cx), float(cy), float(r)
+        for i in range(n):
+            lo[i], hi[i] = disc_clip_scalar(
+                cxf, cyf, rf,
+                float(x0[i]), float(y0[i]), float(x1[i]), float(y1[i]),
+            )
+        return lo, hi
+    dx = x1 - x0
+    dy = y1 - y0
+    fx = x0 - cx
+    fy = y0 - cy
+    a = dx * dx + dy * dy
+    c = fx * fx + fy * fy - r * r
+    b = fx * dx + fy * dy
+    lo = np.zeros(n, dtype=np.float64)
+    hi = np.zeros(n, dtype=np.float64)
+    degenerate = a == 0.0
+    if degenerate.any():
+        hi[degenerate & (c <= 0.0)] = 1.0
+    with np.errstate(invalid="ignore"):
+        # Stationary pieces with an infinite radius produce 0 * inf
+        # here; the `degenerate` mask already answered them above.
+        disc = b * b - a * c
+    solve = (~degenerate) & (disc > 0.0)
+    if solve.any():
+        sq = np.sqrt(disc[solve])
+        aa = a[solve]
+        bb = b[solve]
+        w1 = (-bb - sq) / aa
+        w2 = (-bb + sq) / aa
+        lo[solve] = np.where(w1 < 0.0, 0.0, np.where(w1 > 1.0, 1.0, w1))
+        hi[solve] = np.where(w2 < 0.0, 0.0, np.where(w2 > 1.0, 1.0, w2))
+    return lo, hi
+
+
+def disc_dwell(
+    cx: float,
+    cy: float,
+    r: float,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    dt: np.ndarray,
+    obs=None,
+) -> np.ndarray:
+    """Per-segment dwell time inside the closed disc, batched.
+
+    ``dwell[i]`` bit-equals ``(hi - lo) * dt[i]`` from
+    :func:`disc_clip_scalar` on segment ``i``.
+    """
+    lo, hi = disc_clip_batch(cx, cy, r, x0, y0, x1, y1, obs=obs)
+    return (hi - lo) * np.asarray(dt, dtype=np.float64)
+
+
+def disc_dwell_scalar(
+    cx: float,
+    cy: float,
+    r: float,
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x1: np.ndarray,
+    y1: np.ndarray,
+    dt: np.ndarray,
+) -> np.ndarray:
+    """Reference scalar dwell fold (same expressions, Python floats)."""
+    n = len(x0)
+    out = np.zeros(n, dtype=np.float64)
+    cxf, cyf, rf = float(cx), float(cy), float(r)
+    for i in range(n):
+        lo, hi = disc_clip_scalar(
+            cxf, cyf, rf,
+            float(x0[i]), float(y0[i]), float(x1[i]), float(y1[i]),
+        )
+        out[i] = (hi - lo) * float(dt[i])
+    return out
+
+
 __all__ = [
     "EdgeArrays",
     "classify_segments",
     "clip_segments_batch",
+    "disc_clip_batch",
+    "disc_clip_scalar",
+    "disc_dwell",
+    "disc_dwell_scalar",
     "kernel_backend",
     "polygon_edge_arrays",
     "segments_dwell",

@@ -16,18 +16,19 @@ from typing import Dict, Hashable, Iterable, List, Set, Tuple
 from repro.errors import GeometryError
 from repro.geometry.index import UniformGridIndex, index_for_geometries
 from repro.geometry.point import BoundingBox, Point
+from repro.geometry.poi import Poi
 from repro.geometry.polygon import Polygon
 from repro.geometry.polyline import Polyline
 from repro.geometry.segment import Segment
 
-Geometry = object  # Point | Segment | Polyline | Polygon (duck-typed)
+Geometry = object  # Point | Segment | Polyline | Polygon | Poi (duck-typed)
 
 
 def geometry_bbox(geom: Geometry) -> BoundingBox:
     """Return the bounding box of any supported geometry."""
     if isinstance(geom, Point):
         return BoundingBox(geom.x, geom.y, geom.x, geom.y)
-    if isinstance(geom, (Segment, Polyline, Polygon)):
+    if isinstance(geom, (Segment, Polyline, Polygon, Poi)):
         return geom.bbox
     raise GeometryError(f"unsupported geometry type: {type(geom).__name__}")
 
@@ -45,6 +46,19 @@ def geometries_intersect(a: Geometry, b: Geometry) -> bool:
             return a.contains_point(b)
         if isinstance(a, Polygon):
             return a.contains_point(b)
+        if isinstance(a, Poi):
+            return a.contains_point(b)
+    if isinstance(a, Poi) and isinstance(b, Poi):
+        return a.intersects_poi(b)
+    if isinstance(a, Poi):
+        if isinstance(b, Segment):
+            return a.intersects_segment(b)
+        if isinstance(b, Polyline):
+            return a.intersects_polyline(b)
+        if isinstance(b, Polygon):
+            return a.intersects_polygon(b)
+    if isinstance(b, Poi):
+        return geometries_intersect(b, a)
     if isinstance(a, Segment) and isinstance(b, Segment):
         return a.intersects(b)
     if isinstance(a, Segment) and isinstance(b, Polyline):
@@ -71,9 +85,24 @@ def geometries_intersect(a: Geometry, b: Geometry) -> bool:
 def geometry_contains(container: Geometry, contained: Geometry) -> bool:
     """Exact containment test: does ``container`` fully contain ``contained``?
 
-    Only polygons can contain other geometries; everything else contains at
-    most points (on itself).
+    Only polygons and POI discs can contain other geometries; everything
+    else contains at most points (on itself).
     """
+    if isinstance(container, Poi):
+        if isinstance(contained, Point):
+            return container.contains_point(contained)
+        if isinstance(contained, Segment):
+            return container.contains_segment(contained)
+        if isinstance(contained, Polyline):
+            return all(
+                container.contains_segment(s) for s in contained.segments()
+            )
+        if isinstance(contained, Polygon):
+            return container.contains_polygon(contained)
+        if isinstance(contained, Poi):
+            return container.contains_poi(contained)
+    if isinstance(container, Polygon) and isinstance(contained, Poi):
+        return contained.inside_polygon(container)
     if isinstance(container, Polygon):
         if isinstance(contained, Point):
             return container.contains_point(contained)

@@ -12,6 +12,7 @@ from repro.gis.geometries import (
     DEFAULT_COMPOSITION,
     LINE,
     NODE,
+    POI,
     POINT,
     POLYGON,
     POLYLINE,
@@ -47,6 +48,7 @@ __all__ = [
     "DEFAULT_COMPOSITION",
     "LINE",
     "NODE",
+    "POI",
     "POINT",
     "POLYGON",
     "POLYLINE",

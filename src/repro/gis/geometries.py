@@ -13,6 +13,7 @@ from typing import Dict, Type
 
 from repro.errors import SchemaError
 from repro.geometry.point import Point
+from repro.geometry.poi import Poi
 from repro.geometry.polygon import Polygon
 from repro.geometry.polyline import Polyline
 from repro.geometry.segment import Segment
@@ -27,11 +28,13 @@ LINE = "line"
 POLYLINE = "polyline"
 #: A region, possibly with holes (neighborhood, city, province).
 POLYGON = "polygon"
+#: A place of interest: a point feature with an influence radius (disc).
+POI = "poi"
 #: The distinguished top element.
 ALL = "All"
 
 #: All built-in geometry kinds.
-BUILTIN_KINDS = (POINT, NODE, LINE, POLYLINE, POLYGON, ALL)
+BUILTIN_KINDS = (POINT, NODE, LINE, POLYLINE, POLYGON, POI, ALL)
 
 #: The single member of the All kind.
 ALL_GEOMETRY = "all"
@@ -42,6 +45,7 @@ KIND_CLASSES: Dict[str, Type] = {
     LINE: Segment,
     POLYLINE: Polyline,
     POLYGON: Polygon,
+    POI: Poi,
 }
 
 #: The default composition edges among built-in kinds: ``(finer, coarser)``.
@@ -52,9 +56,11 @@ DEFAULT_COMPOSITION = (
     (POINT, LINE),
     (LINE, POLYLINE),
     (POINT, POLYGON),
+    (POINT, POI),
     (NODE, ALL),
     (POLYLINE, ALL),
     (POLYGON, ALL),
+    (POI, ALL),
 )
 
 

@@ -87,11 +87,26 @@ class IngestConfig:
 
 @dataclass(frozen=True)
 class StoreSpec:
-    """One pre-agg store the ingestor maintains across snapshots."""
+    """One pre-agg store the ingestor maintains across snapshots.
+
+    ``kind`` picks the store flavor: the default geometry kinds build a
+    :class:`~repro.preagg.PreAggStore` over the layer's elements of that
+    kind; ``kind="poi"`` builds a :class:`~repro.poi.PoiVisitStore` over
+    the layer's place-of-interest discs, maintained through the same
+    clone-and-fold path (``min_dwell`` applies only there).
+    """
 
     granule_level: str
     layer: str
     kind: str
+    min_dwell: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_dwell != 0.0 and self.kind != "poi":
+            raise IngestError(
+                f"min_dwell only applies to POI stores, not kind "
+                f"{self.kind!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -218,21 +233,37 @@ class StreamingIngestor:
         head = self.chain.head
         table = head.table()
         stores = tuple(
-            PreAggStore(
-                table,
-                time,
-                spec.granule_level,
-                gis.layer(spec.layer).elements(spec.kind),
-                layer=spec.layer,
-                kind=spec.kind,
-                obs=self.obs,
-            )
-            for spec in store_specs
+            self._build_store(table, spec) for spec in store_specs
         )
         self._snapshot = IngestSnapshot(
             head.ordinal, self._watermark, table, stores, gis, time
         )
         self._count_snapshot(head)
+
+    def _build_store(self, table: MOFT, spec: StoreSpec):
+        """Build the store flavor a spec asks for over one table version."""
+        elements = self.gis.layer(spec.layer).elements(spec.kind)
+        if spec.kind == "poi":
+            from repro.poi import PoiVisitStore
+
+            return PoiVisitStore(
+                table,
+                self.time,
+                spec.granule_level,
+                elements,
+                layer=spec.layer,
+                min_dwell=spec.min_dwell,
+                obs=self.obs,
+            )
+        return PreAggStore(
+            table,
+            self.time,
+            spec.granule_level,
+            elements,
+            layer=spec.layer,
+            kind=spec.kind,
+            obs=self.obs,
+        )
 
     # -- reader API ----------------------------------------------------------
 

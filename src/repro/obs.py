@@ -106,6 +106,23 @@ Counter names used by the built-in pipeline (see ``docs/API.md``):
     chain, and segments in the current head (drops to 1 at each
     compaction).
 
+``disc_kernel_segments``
+    Trajectory pieces classified against a place-of-interest disc by the
+    vectorized quadratic clip (:func:`repro.geometry.kernels
+    .disc_clip_batch`), whichever backend ran.
+``stop_episodes`` / ``poi_visits``
+    The stop/move layer (:mod:`repro.poi`): stop episodes produced by
+    :func:`~repro.poi.segment_stops_moves`, and per-(POI, granule) visit
+    attributions folded into cells by :func:`~repro.poi.poi_cells`.
+``poi_preagg_hits`` / ``poi_preagg_misses``
+    POI aggregate routing (:mod:`repro.query.poi`): queries served from
+    a registered fresh :class:`~repro.poi.PoiVisitStore`, and queries
+    that found registered stores but none fresh and covering.
+``poi_store_updates``
+    Incremental maintenance: :meth:`~repro.poi.PoiVisitStore.update`
+    calls that actually folded (delta or rebuild; ``fresh`` no-ops
+    don't count).
+
 Stage names: ``geometric_subquery``, ``index_build``, ``segment_scan``;
 the sharded executor adds ``shard_fanout`` (dispatch-to-last-result wall
 time), ``shard_scan`` (per-shard work, one call per shard, summed across

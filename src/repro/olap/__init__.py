@@ -23,6 +23,11 @@ from repro.olap.facttable import (
     FactTableSchema,
 )
 from repro.olap.cube import Cube
+from repro.olap.solap import (
+    poi_parent_mapping,
+    spatial_drilldown,
+    spatial_rollup,
+)
 
 __all__ = [
     "ALL_LEVEL",
@@ -37,4 +42,7 @@ __all__ = [
     "FactTable",
     "FactTableSchema",
     "Cube",
+    "poi_parent_mapping",
+    "spatial_drilldown",
+    "spatial_rollup",
 ]

@@ -156,9 +156,59 @@ class OlapQuery:
             )
 
 
+#: Measures accepted in the POI aggregation part.
+POI_MEASURES = ("visits", "visitors", "dwell", "topk")
+
+
+@dataclass(frozen=True)
+class PoiAggQuery:
+    """The POI aggregation part: stop/move aggregates at a POI layer.
+
+    Grammar (an alternative pipe-part)::
+
+        (VISITS | DISTINCT VISITORS | DWELL | TOP <k>)
+        FROM <moft> AT layer.<places> BY <granule> [MINDWELL <seconds>]
+
+    ``VISITS`` counts stop episodes per (POI, granule); ``DISTINCT
+    VISITORS`` lists the objects that stopped or dwelled there; ``DWELL``
+    sums clipped dwell seconds; ``TOP k`` ranks POIs by distinct
+    visitors per granule.  ``AT`` names the place-of-interest layer (the
+    executor rejects bindings whose kind is not ``poi`` with a typed
+    error), ``BY`` the Time granule level, and ``MINDWELL`` the minimum
+    stop duration in seconds.
+    """
+
+    measure: str  # one of POI_MEASURES
+    moft_name: str
+    at: LayerRef
+    by_level: str
+    k: Optional[int] = None
+    min_dwell: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.measure not in POI_MEASURES:
+            raise PietQLError(
+                f"unknown POI measure {self.measure!r}; expected one of "
+                f"{POI_MEASURES}"
+            )
+        if self.measure == "topk":
+            if self.k is None or self.k < 1:
+                raise PietQLError(
+                    f"TOP needs a positive k, got {self.k!r}"
+                )
+        elif self.k is not None:
+            raise PietQLError(
+                f"measure {self.measure!r} does not take a k"
+            )
+        if not self.min_dwell >= 0.0:  # also rejects NaN
+            raise PietQLError(
+                f"MINDWELL must be >= 0, got {self.min_dwell!r}"
+            )
+
+
 @dataclass(frozen=True)
 class PietQLQuery:
-    """A complete parsed query: geometric [| olap] [| moving objects].
+    """A complete parsed query: geometric [| olap] [| moving objects | poi].
 
     ``explain`` marks an ``EXPLAIN``-prefixed query: it executes
     normally, and the executor additionally attaches a costed plan tree
@@ -170,3 +220,4 @@ class PietQLQuery:
     moving_objects: Optional[MovingObjectQuery] = None
     olap: Optional[OlapQuery] = None
     explain: bool = False
+    poi: Optional[PoiAggQuery] = None

@@ -59,6 +59,7 @@ class PietQLResult:
     matched_objects: Optional[frozenset] = None
     olap_result: Optional[Mapping[Hashable, float]] = None
     plan: Optional[QueryPlan] = None
+    poi_result: Optional[Mapping] = None
 
 
 class PietQLExecutor:
@@ -149,6 +150,10 @@ class PietQLExecutor:
         result = self._execute(query)
         elapsed = time.perf_counter() - started
         delta = self.context.obs.since(before)
+        if query.poi is not None:
+            # The POI part planned itself through plan_poi_aggregate; its
+            # costed tree is already attached.
+            return result
         return replace(
             result, plan=self._build_plan(query, result, delta, elapsed)
         )
@@ -160,16 +165,70 @@ class PietQLExecutor:
             olap_result = self._execute_olap(
                 query.olap, query.geometric, geometry_ids
             )
+        poi_result = None
+        poi_plan: Optional[QueryPlan] = None
+        if query.poi is not None:
+            poi_result, poi_plan = self._execute_poi(
+                query.poi, explain=query.explain
+            )
         if query.moving_objects is None:
             return PietQLResult(
-                frozenset(geometry_ids), olap_result=olap_result
+                frozenset(geometry_ids),
+                olap_result=olap_result,
+                plan=poi_plan,
+                poi_result=poi_result,
             )
         count, matched = self._execute_moving(
             query.moving_objects, query.geometric, geometry_ids
         )
         return PietQLResult(
-            frozenset(geometry_ids), count, frozenset(matched), olap_result
+            frozenset(geometry_ids),
+            count,
+            frozenset(matched),
+            olap_result,
+            poi_plan,
+            poi_result,
         )
+
+    def _execute_poi(
+        self, poi: "ast.PoiAggQuery", explain: bool = False
+    ) -> Tuple[Mapping, Optional[QueryPlan]]:
+        """Run the POI aggregation part through the cost-based planner.
+
+        The ``AT`` reference must resolve to a place-of-interest layer:
+        a binding of any other geometry kind is a typed execution error
+        (the language keeps discs and, say, polygon layers apart).  The
+        measure is dispatched through :func:`repro.query.planner
+        .plan_poi_aggregate` so EXPLAIN shows the routed strategy.
+        """
+        from repro.gis import geometries as gk
+        from repro.query.planner import execute_poi_plan, plan_poi_aggregate
+
+        binding = self.resolve(poi.at)
+        if binding.kind != gk.POI:
+            raise PietQLExecutionError(
+                f"AT expects a place-of-interest layer; layer.{poi.at.name} "
+                f"is bound to {binding.layer!r} kind {binding.kind!r}, "
+                f"not {gk.POI!r}"
+            )
+        options = dict(
+            min_dwell=poi.min_dwell,
+            moft_name=poi.moft_name,
+            measure=poi.measure,
+            k=poi.k,
+        )
+        try:
+            plan = plan_poi_aggregate(
+                self.context, binding.layer, poi.by_level, **options
+            )
+            result = execute_poi_plan(
+                plan, self.context, binding.layer, poi.by_level, **options
+            )
+        except PietQLExecutionError:
+            raise
+        except Exception as exc:
+            raise PietQLExecutionError(str(exc)) from exc
+        return result, (plan if explain else None)
 
     def _build_plan(
         self,

@@ -58,6 +58,25 @@ def format_moving(mo: ast.MovingObjectQuery) -> str:
     return text
 
 
+def format_poi(poi: ast.PoiAggQuery) -> str:
+    """Render the POI aggregation part."""
+    if poi.measure == "visits":
+        head = "VISITS"
+    elif poi.measure == "visitors":
+        head = "DISTINCT VISITORS"
+    elif poi.measure == "dwell":
+        head = "DWELL"
+    else:
+        head = f"TOP {poi.k}"
+    text = (
+        f"{head} FROM {poi.moft_name} "
+        f"AT {format_layer_ref(poi.at)} BY {poi.by_level}"
+    )
+    if poi.min_dwell > 0.0:
+        text += f" MINDWELL {poi.min_dwell!r}"
+    return text
+
+
 def format_query(query: ast.PietQLQuery) -> str:
     """Render a full query in canonical one-line form."""
     parts = [format_geometric(query.geometric)]
@@ -65,6 +84,8 @@ def format_query(query: ast.PietQLQuery) -> str:
         parts.append(format_olap(query.olap))
     if query.moving_objects is not None:
         parts.append(format_moving(query.moving_objects))
+    if query.poi is not None:
+        parts.append(format_poi(query.poi))
     text = " | ".join(parts)
     if query.explain:
         text = "EXPLAIN " + text

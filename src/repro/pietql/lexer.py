@@ -33,6 +33,13 @@ KEYWORDS = {
     "SUBLEVEL",
     "AGGREGATE",
     "BY",
+    # POI aggregation part (follow-up paper's places-of-interest workload).
+    "VISITS",
+    "VISITORS",
+    "DWELL",
+    "TOP",
+    "AT",
+    "MINDWELL",
 }
 
 

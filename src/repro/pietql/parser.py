@@ -15,6 +15,8 @@ Grammar (keywords case-insensitive, semicolons optional)::
     mo_part     := COUNT (OBJECTS | SAMPLES) FROM IDENT
                    [ THROUGH RESULT ]
                    ( DURING IDENT '=' (STRING | IDENT | NUMBER) )*
+    poi_part    := (VISITS | DISTINCT VISITORS | DWELL | TOP NUMBER)
+                   FROM IDENT AT layer_ref BY IDENT [ MINDWELL NUMBER ]
 
 The infix form mirrors the paper's
 ``(layer.usa_cities) CONTAINS (layer.usa_cities, layer.usa_stores, …)``
@@ -88,19 +90,25 @@ class _Parser:
         geometric = self._geo_part()
         olap: Optional[ast.OlapQuery] = None
         moving: Optional[ast.MovingObjectQuery] = None
+        poi: Optional[ast.PoiAggQuery] = None
         if self._peek().type is TokenType.PIPE:
             self._advance()
             if self._peek().is_keyword("AGGREGATE"):
                 olap = self._olap_part()
                 if self._peek().type is TokenType.PIPE:
                     self._advance()
-                    moving = self._mo_part()
+                    if self._at_poi_part():
+                        poi = self._poi_part()
+                    else:
+                        moving = self._mo_part()
+            elif self._at_poi_part():
+                poi = self._poi_part()
             else:
                 moving = self._mo_part()
         self._skip_semicolons()
         if self._peek().type is not TokenType.EOF:
             raise self._error("unexpected trailing input")
-        return ast.PietQLQuery(geometric, moving, olap, explain)
+        return ast.PietQLQuery(geometric, moving, olap, explain, poi)
 
     def _olap_part(self) -> ast.OlapQuery:
         self._expect_keyword("AGGREGATE")
@@ -191,6 +199,47 @@ class _Parser:
             # the last two operands.
             return refs[1], refs[2], sublevel
         raise self._error("geometric condition needs two layer arguments")
+
+    def _at_poi_part(self) -> bool:
+        token = self._peek()
+        return any(
+            token.is_keyword(word)
+            for word in ("VISITS", "DISTINCT", "DWELL", "TOP")
+        )
+
+    def _poi_part(self) -> ast.PoiAggQuery:
+        k: Optional[int] = None
+        if self._accept_keyword("VISITS"):
+            measure = "visits"
+        elif self._accept_keyword("DISTINCT"):
+            self._expect_keyword("VISITORS")
+            measure = "visitors"
+        elif self._accept_keyword("DWELL"):
+            measure = "dwell"
+        else:
+            self._expect_keyword("TOP")
+            token = self._expect(TokenType.NUMBER)
+            try:
+                k = int(token.value)
+            except ValueError:
+                raise PietQLSyntaxError(
+                    f"TOP expects an integer, got {token.value!r}",
+                    token.line,
+                    token.column,
+                ) from None
+            measure = "topk"
+        self._expect_keyword("FROM")
+        moft_name = self._ident()
+        self._expect_keyword("AT")
+        at = self._layer_ref()
+        self._expect_keyword("BY")
+        by_level = self._ident()
+        min_dwell = 0.0
+        if self._accept_keyword("MINDWELL"):
+            token = self._expect(TokenType.NUMBER)
+            min_dwell = float(token.value)
+        self._skip_semicolons()
+        return ast.PoiAggQuery(measure, moft_name, at, by_level, k, min_dwell)
 
     def _mo_part(self) -> ast.MovingObjectQuery:
         self._expect_keyword("COUNT")

@@ -1,0 +1,486 @@
+"""Summable per-(POI, time-granule) visit cells with exact visitor sets.
+
+The POI aggregates of the follow-up paper — visits, distinct visitors,
+dwell per POI per granule, top-k by distinct visitors — are *summable*
+in the sense of the source paper's Definition 4: each moving object's
+contribution decomposes per (POI, granule) cell, cells merge by sum /
+set-union, and object-partitioned shards recombine losslessly.
+:class:`PoiVisitStore` materializes those cells.
+
+Cell semantics (one stop episode ``[a, b]`` at POI ``g``):
+
+* ``visits``  — counted once, in the granule containing ``a``;
+* ``dwell``   — ``b - a`` split exactly over the half-open granule
+  windows ``[start_i, start_{i+1})`` it spans (the last window extends
+  to ``+inf``), so summing any partition of granules preserves dwell;
+* ``visitor`` — the object is a visitor of every cell it received a
+  visit or positive clipped dwell in.
+
+Byte-reproducibility: all state is kept *per object*; read methods fold
+objects in sorted-``repr`` order, so the serial scan, shard-merged and
+incrementally-updated stores produce identical floats and identical
+canonical JSON (pinned by ``tests/poi/test_poi_differential.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PreAggError
+from repro.mo.moft import MOFT
+from repro.poi.segmentation import segment_stops_moves
+from repro.temporal.timedim import TimeDimension
+
+#: Per-object cell contribution: ``{(gid, code): (visits, dwell)}``.
+ObjectCells = Dict[Tuple[Hashable, int], Tuple[int, float]]
+
+
+def _object_cells(
+    moft: MOFT,
+    oid: Hashable,
+    starts: np.ndarray,
+    pois: Mapping[Hashable, object],
+    radius: Optional[float],
+    min_dwell: float,
+    obs=None,
+) -> ObjectCells:
+    """One object's visit/dwell contributions, in time order."""
+    sample = moft.trajectory_sample(oid)
+    episodes = segment_stops_moves(
+        sample, pois, radius=radius, min_dwell=min_dwell, obs=obs
+    )
+    cells: ObjectCells = {}
+    n = starts.shape[0]
+    for episode in episodes:
+        if not episode.is_stop:
+            continue
+        a, b, gid = episode.start, episode.end, episode.poi
+        code = int(np.searchsorted(starts, a, side="right")) - 1
+        if code < 0:
+            code = 0
+        visits, dwell = cells.get((gid, code), (0, 0.0))
+        cells[(gid, code)] = (visits + 1, dwell)
+        # Split [a, b] exactly over granule windows from `code` onward.
+        i = code
+        while i < n:
+            win_start = float(starts[i]) if i > code else a
+            win_end = float(starts[i + 1]) if i + 1 < n else math.inf
+            piece = min(b, win_end) - max(a, win_start)
+            if piece > 0.0:
+                visits, dwell = cells.get((gid, i), (0, 0.0))
+                cells[(gid, i)] = (visits, dwell + piece)
+            if win_end >= b:
+                break
+            i += 1
+    return cells
+
+
+def poi_cells(
+    moft: MOFT,
+    time: TimeDimension,
+    granule_level: str,
+    pois: Mapping[Hashable, object],
+    min_dwell: float = 0.0,
+    radius: Optional[float] = None,
+    oids: Optional[Sequence[Hashable]] = None,
+    obs=None,
+) -> Dict[Hashable, ObjectCells]:
+    """Per-object POI cells of ``moft`` — the shared scan primitive.
+
+    The serial query path calls this directly; shards call it with their
+    object subset; :class:`PoiVisitStore` materializes its result.  One
+    object's cells never depend on another's, which is what makes the
+    three strategies byte-identical.
+    """
+    partition = time.granules(granule_level)
+    starts = np.asarray(partition.starts, dtype=np.float64)
+    wanted = list(moft.objects()) if oids is None else list(oids)
+    out: Dict[Hashable, ObjectCells] = {}
+    total_visits = 0
+    for oid in sorted(wanted, key=repr):
+        cells = _object_cells(
+            moft, oid, starts, pois, radius, min_dwell, obs=obs
+        )
+        if cells:
+            out[oid] = cells
+            total_visits += sum(v for v, _ in cells.values())
+    if obs is not None and total_visits:
+        obs.incr("poi_visits", total_visits)
+    return out
+
+
+class PoiVisitStore:
+    """Materialized POI visit cells over one MOFT.
+
+    Mirrors the :class:`~repro.preagg.store.PreAggStore` lifecycle —
+    build, :meth:`is_stale`, incremental :meth:`update` on append,
+    :meth:`clone` for MVCC streaming snapshots, classmethod
+    :meth:`merge` with completeness checks — so the streaming ingestor
+    and the evaluation context treat both store kinds uniformly.
+    """
+
+    def __init__(
+        self,
+        moft: MOFT,
+        time: TimeDimension,
+        granule_level: str,
+        pois: Mapping[Hashable, object],
+        *,
+        layer: Optional[str] = None,
+        kind: str = "poi",
+        min_dwell: float = 0.0,
+        radius: Optional[float] = None,
+        name: Optional[str] = None,
+        obs=None,
+        build: bool = True,
+    ) -> None:
+        if not pois:
+            raise PreAggError("a POI store needs at least one POI")
+        self.moft = moft
+        self.time = time
+        self.granule_level = granule_level
+        self.pois = dict(pois)
+        self.layer = layer
+        self.kind = kind
+        self.min_dwell = float(min_dwell)
+        self.radius = radius
+        self.name = name if name is not None else f"poi_{granule_level}"
+        self.obs = obs
+        self.partition = time.granules(granule_level)
+        self.gids = tuple(sorted(self.pois, key=repr))
+        self._gid_set = frozenset(self.pois)
+        self._per_object: Dict[Hashable, ObjectCells] = {}
+        self._built_version: Optional[int] = None
+        self._built_rows = 0
+        if build:
+            self._rebuild()
+
+    # -- build / maintenance --------------------------------------------------
+
+    def _scan(self, oids: Optional[Sequence[Hashable]] = None) -> Dict[Hashable, ObjectCells]:
+        return poi_cells(
+            self.moft,
+            self.time,
+            self.granule_level,
+            self.pois,
+            min_dwell=self.min_dwell,
+            radius=self.radius,
+            oids=oids,
+            obs=self.obs,
+        )
+
+    def _rebuild(self) -> None:
+        self._per_object = self._scan()
+        self._built_version = self.moft.version
+        self._built_rows = len(self.moft)
+
+    def is_stale(self) -> bool:
+        return self.moft.version != self._built_version
+
+    def update(self) -> str:
+        """Fold appended rows in; returns ``fresh``/``delta``/``rebuild``.
+
+        A *stop is not prefix-decomposable*: new samples can extend (or
+        create) an episode that earlier rows alone did not justify, so
+        the delta path re-segments every object that gained rows — whole
+        trajectories, but only the touched objects.  Rows vanishing (a
+        non-append mutation) forces a full rebuild.
+        """
+        if not self.is_stale():
+            return "fresh"
+        rows = len(self.moft)
+        if rows < self._built_rows:
+            self._rebuild()
+            if self.obs is not None:
+                self.obs.incr("poi_store_updates")
+            return "rebuild"
+        touched = sorted(
+            set(self.moft.oid_column()[self._built_rows :]), key=repr
+        )
+        fresh = self._scan(oids=touched)
+        per_object = dict(self._per_object)
+        for oid in touched:
+            cells = fresh.get(oid)
+            if cells:
+                per_object[oid] = cells
+            else:
+                per_object.pop(oid, None)
+        self._per_object = per_object
+        self._built_version = self.moft.version
+        self._built_rows = rows
+        if self.obs is not None:
+            self.obs.incr("poi_store_updates")
+        return "delta"
+
+    def clone(self, moft: Optional[MOFT] = None) -> "PoiVisitStore":
+        """Copy-on-write duplicate, optionally repointed at a new MOFT.
+
+        Per-object cell dicts are immutable after build (updates rebind,
+        never mutate), so the clone shares them until its own update.
+        ``moft`` must extend this store's table as a row prefix — the
+        :class:`~repro.ingest.VersionedMoft` publish guarantee.
+        """
+        out = PoiVisitStore(
+            moft if moft is not None else self.moft,
+            self.time,
+            self.granule_level,
+            self.pois,
+            layer=self.layer,
+            kind=self.kind,
+            min_dwell=self.min_dwell,
+            radius=self.radius,
+            name=self.name,
+            obs=self.obs,
+            build=False,
+        )
+        out._per_object = dict(self._per_object)
+        out._built_version = self._built_version
+        out._built_rows = self._built_rows
+        if moft is not None and moft is not self.moft:
+            # The snapshot table carries its own version counter: a
+            # row-identical repoint (compaction) is fresh at the new
+            # version; an extension is stale but keeps ``_built_rows``,
+            # so the next update() walks the delta path, not a rebuild.
+            out._built_version = (
+                moft.version if len(moft) == self._built_rows else None
+            )
+        return out
+
+    @classmethod
+    def merge(
+        cls,
+        stores: Sequence["PoiVisitStore"],
+        moft: MOFT,
+    ) -> "PoiVisitStore":
+        """Recombine object-partitioned shard stores over the full MOFT.
+
+        Completeness checks (the shard contract): every shard shares the
+        cell schema, shard object sets are disjoint, and their union
+        plus row total covers ``moft`` exactly — a dropped or duplicated
+        shard fails loudly instead of under-counting.
+        """
+        if not stores:
+            raise PreAggError("cannot merge zero POI stores")
+        head = stores[0]
+        for other in stores[1:]:
+            if (
+                other.granule_level != head.granule_level
+                or other.min_dwell != head.min_dwell
+                or other.radius != head.radius
+                or other.gids != head.gids
+                or other.time is not head.time
+            ):
+                raise PreAggError(
+                    "POI shard stores disagree on cell schema "
+                    "(granule/min_dwell/radius/pois/time)"
+                )
+        seen: Dict[Hashable, int] = {}
+        rows = 0
+        for store in stores:
+            rows += len(store.moft)
+            for oid in store.moft.objects():
+                seen[oid] = seen.get(oid, 0) + 1
+        duplicates = sorted((o for o, n in seen.items() if n > 1), key=repr)
+        if duplicates:
+            raise PreAggError(
+                f"POI shards overlap on objects {duplicates[:5]!r}"
+            )
+        missing = sorted(set(moft.objects()) - set(seen), key=repr)
+        if missing or rows != len(moft):
+            raise PreAggError(
+                f"POI shard merge incomplete: {len(missing)} objects and "
+                f"{len(moft) - rows} rows unaccounted for"
+            )
+        out = cls(
+            moft,
+            head.time,
+            head.granule_level,
+            head.pois,
+            layer=head.layer,
+            kind=head.kind,
+            min_dwell=head.min_dwell,
+            radius=head.radius,
+            name=head.name,
+            obs=head.obs,
+            build=False,
+        )
+        merged: Dict[Hashable, ObjectCells] = {}
+        for store in stores:
+            merged.update(store._per_object)
+        out._per_object = merged
+        out._built_version = moft.version
+        out._built_rows = len(moft)
+        return out
+
+    # -- reads ----------------------------------------------------------------
+
+    def _member(self, code: int) -> Hashable:
+        return self.partition.members[code]
+
+    def _fold(self):
+        """Yield ``(oid, gid, code, visits, dwell)`` in canonical order."""
+        for oid in sorted(self._per_object, key=repr):
+            cells = self._per_object[oid]
+            for (gid, code) in sorted(cells, key=lambda k: (repr(k[0]), k[1])):
+                visits, dwell = cells[(gid, code)]
+                yield oid, gid, code, visits, dwell
+
+    def visit_counts(self) -> Dict[Tuple[Hashable, Hashable], int]:
+        """``{(poi id, granule member): visit count}`` — non-zero cells."""
+        out: Dict[Tuple[Hashable, Hashable], int] = {}
+        for _, gid, code, visits, _ in self._fold():
+            if visits:
+                key = (gid, self._member(code))
+                out[key] = out.get(key, 0) + visits
+        return out
+
+    def dwell_times(self) -> Dict[Tuple[Hashable, Hashable], float]:
+        """``{(poi id, granule member): dwell}`` folded in canonical order."""
+        out: Dict[Tuple[Hashable, Hashable], float] = {}
+        for _, gid, code, _, dwell in self._fold():
+            if dwell:
+                key = (gid, self._member(code))
+                out[key] = out.get(key, 0.0) + dwell
+        return out
+
+    def distinct_visitors(
+        self,
+    ) -> Dict[Tuple[Hashable, Hashable], Tuple[Hashable, ...]]:
+        """``{(poi id, granule member): sorted visitor ids}``."""
+        out: Dict[Tuple[Hashable, Hashable], List[Hashable]] = {}
+        for oid, gid, code, _, _ in self._fold():
+            out.setdefault((gid, self._member(code)), []).append(oid)
+        return {key: tuple(oids) for key, oids in out.items()}
+
+    def topk(self, k: int) -> Dict[Hashable, Tuple[Tuple[Hashable, int], ...]]:
+        """Top-``k`` POIs by distinct visitors, per granule member.
+
+        Ranks descending by distinct-visitor count, ties broken
+        ascending by ``repr(poi id)``; members nobody visited are
+        omitted.
+        """
+        if k < 1:
+            raise PreAggError(f"top-k needs k >= 1, got {k}")
+        counts: Dict[Hashable, Dict[Hashable, int]] = {}
+        for (gid, member), visitors in self.distinct_visitors().items():
+            counts.setdefault(member, {})[gid] = len(visitors)
+        out: Dict[Hashable, Tuple[Tuple[Hashable, int], ...]] = {}
+        for member in self.partition.members:
+            ranking = counts.get(member)
+            if not ranking:
+                continue
+            ordered = sorted(
+                ranking.items(), key=lambda item: (-item[1], repr(item[0]))
+            )
+            out[member] = tuple(ordered[:k])
+        return out
+
+    # -- rollups / cube -------------------------------------------------------
+
+    def rollup_cells(self, parent_level: str):
+        """Temporal roll-up: the same cells at a coarser granule level.
+
+        Returns ``(parent_partition, visits, dwell, visitors)`` dicts
+        keyed ``(poi id, parent member)``.
+        """
+        parent, mapping = self.partition.rollup_codes(self.time, parent_level)
+        visits: Dict[Tuple[Hashable, Hashable], int] = {}
+        dwell: Dict[Tuple[Hashable, Hashable], float] = {}
+        visitors: Dict[Tuple[Hashable, Hashable], List[Hashable]] = {}
+        for oid, gid, code, n, d in self._fold():
+            key = (gid, parent.members[int(mapping[code])])
+            if n:
+                visits[key] = visits.get(key, 0) + n
+            if d:
+                dwell[key] = dwell.get(key, 0.0) + d
+            bucket = visitors.setdefault(key, [])
+            if not bucket or bucket[-1] != oid:
+                bucket.append(oid)
+        return (
+            parent,
+            visits,
+            dwell,
+            {key: tuple(oids) for key, oids in visitors.items()},
+        )
+
+    def rollup_space(self, mapping):
+        """Spatial roll-up: every measure folded gid → parent.
+
+        ``mapping`` usually comes from
+        :func:`repro.olap.solap.poi_parent_mapping`; returns
+        ``(visits, dwell, visitors)`` keyed ``(parent id, member)``.
+        """
+        from repro.olap.solap import spatial_rollup
+
+        return (
+            spatial_rollup(self.visit_counts(), mapping),
+            spatial_rollup(self.dwell_times(), mapping),
+            spatial_rollup(self.distinct_visitors(), mapping),
+        )
+
+    def as_cube(self):
+        """Expose the cells as an OLAP cube (granule x POI axes)."""
+        from repro.olap.cube import Cube
+        from repro.olap.dimension import DimensionInstance, DimensionSchema
+
+        visits = self.visit_counts()
+        dwell = self.dwell_times()
+        visitors = self.distinct_visitors()
+        rows = []
+        for (gid, member), oids in visitors.items():
+            rows.append(
+                {
+                    "granule": member,
+                    "poi": gid,
+                    "visits": visits.get((gid, member), 0),
+                    "dwell": dwell.get((gid, member), 0.0),
+                    "distinct_visitors": len(oids),
+                }
+            )
+        schema = DimensionSchema(f"{self.name}_poi", [("gid", "layer")])
+        instance = DimensionInstance(schema)
+        label = self.layer if self.layer is not None else self.name
+        for gid in self.gids:
+            instance.set_rollup("gid", gid, "layer", label)
+        return Cube.from_rows(
+            f"{self.name}_cells",
+            [
+                (
+                    "granule",
+                    self.time.instance.schema.name,
+                    self.granule_level,
+                    self.time.instance,
+                ),
+                ("poi", f"{self.name}_poi", "gid", instance),
+            ],
+            ("visits", "dwell", "distinct_visitors"),
+            rows,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        cells = set()
+        visits = 0
+        for _, gid, code, n, _ in self._fold():
+            cells.add((gid, code))
+            visits += n
+        return {
+            "name": self.name,
+            "granule_level": self.granule_level,
+            "pois": len(self.pois),
+            "objects": len(self._per_object),
+            "cells": len(cells),
+            "visits": visits,
+            "min_dwell": self.min_dwell,
+            "stale": self.is_stale(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PoiVisitStore({self.name!r}, granule={self.granule_level!r}, "
+            f"pois={len(self.pois)}, objects={len(self._per_object)})"
+        )

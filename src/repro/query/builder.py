@@ -99,6 +99,27 @@ class RegionBuilder:
             attribute, POLYGON, member=member, value_filter=value_filter
         )
 
+    def at_poi(
+        self,
+        attribute: str,
+        member: Optional[Hashable] = None,
+        value_filter: Optional[Tuple[str, str, Any]] = None,
+    ) -> "RegionBuilder":
+        """Sample position inside a place-of-interest disc.
+
+        The POI counterpart of :meth:`in_attribute_polygon`: emits the
+        containment pattern against a ``poi``-kind placement (closed
+        disc membership).  Aggregate POI questions (visits, distinct
+        visitors, top-k) live in :class:`repro.query.poi.PoiQueryBuilder`;
+        this condition slots POI membership into arbitrary region
+        formulas.
+        """
+        from repro.gis import geometries as gk
+
+        return self.in_attribute_geometry(
+            attribute, gk.POI, member=member, value_filter=value_filter
+        )
+
     def in_attribute_geometry(
         self,
         attribute: str,

@@ -676,7 +676,180 @@ def explain(
     return plan.render()
 
 
+# ---------------------------------------------------------------------------
+# POI aggregates
+# ---------------------------------------------------------------------------
+
+#: The strategies the planner prices for POI aggregate queries.
+POI_STRATEGIES = ("serial", "sharded", "preagg")
+
+
+def plan_poi_aggregate(
+    context: EvaluationContext,
+    layer: str,
+    granule_level: str,
+    min_dwell: float = 0.0,
+    moft_name: str = "FM",
+    measure: str = "visits",
+    k: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    force_strategy: Optional[str] = None,
+) -> QueryPlan:
+    """Price the POI aggregate strategies and pick the cheapest.
+
+    The candidate space mirrors :func:`plan_count_objects_through` with
+    the POI twists: the scan is a per-object *segmentation* pass (every
+    row against every disc — no grid pruning, stops are global per
+    trajectory), sharding splits by objects on the threads backend, and
+    a registered fresh :class:`~repro.poi.PoiVisitStore` covering the
+    (layer, granule, min_dwell) key reduces the query to a cell read.
+    """
+    from repro.query.poi import resolve_pois
+
+    if force_strategy is not None and force_strategy not in POI_STRATEGIES:
+        raise EvaluationError(
+            f"unknown POI strategy {force_strategy!r}; expected one of "
+            f"{POI_STRATEGIES}"
+        )
+    model = cost_model if cost_model is not None else CostModel()
+    pois = resolve_pois(context, layer)
+    moft = context.moft(moft_name)
+    table = table_statistics(moft)
+    geometry = GeometryStatistics(len(pois), 1.0)
+    partition = context.time.granules(granule_level)
+    n_granules = len(partition.members)
+    detail = (
+        f"{layer}/{granule_level} measure={measure}"
+        + (f" k={k}" if k is not None else "")
+        + (f" min_dwell={min_dwell}" if min_dwell else "")
+    )
+
+    serial_cost = model.scan_cost(
+        table.rows, len(pois), coverage=1.0, indexed=False
+    )
+    cpus = _available_cpus()
+    n_shards = min(
+        model.choose_shard_count(table.rows, cpus), max(1, table.objects)
+    )
+    sharded_cost = model.sharded_cost(
+        serial_cost, "threads", n_shards, table.rows
+    )
+    candidates: List[Tuple[str, float]] = [
+        ("serial", serial_cost),
+        ("sharded", sharded_cost),
+    ]
+    store = context.poi_store_for(
+        moft, layer, granule_level, min_dwell, pois
+    )
+    if store is not None and not store.is_stale():
+        candidates.append(
+            ("preagg", model.preagg_cost(n_granules, len(pois), 0, 1.0))
+        )
+
+    by_name = dict(candidates)
+    if force_strategy is not None:
+        if force_strategy not in by_name:
+            raise EvaluationError(
+                f"strategy {force_strategy!r} unavailable: no fresh POI "
+                "store covers this query"
+            )
+        chosen, chosen_cost = force_strategy, by_name[force_strategy]
+    else:
+        chosen, chosen_cost = min(candidates, key=lambda c: (c[1], c[0]))
+
+    segment_node = PlanNode(
+        "StopSegmentScan",
+        f"{table.name} x {len(pois)} discs",
+        est_rows=table.rows,
+        est_cost=serial_cost,
+    )
+    if chosen == "preagg":
+        body = PlanNode(
+            "PoiCellRead",
+            f"store granules={n_granules} pois={len(pois)}",
+            est_rows=n_granules * len(pois),
+            est_cost=chosen_cost,
+        )
+    elif chosen == "sharded":
+        body = PlanNode(
+            "ShardedSegmentScan",
+            f"threads x{n_shards} + merge",
+            est_rows=table.rows,
+            est_cost=chosen_cost,
+            children=(segment_node,),
+        )
+    else:
+        body = segment_node
+    root = PlanNode(
+        "PoiAggregate",
+        detail,
+        est_rows=n_granules * len(pois),
+        est_cost=chosen_cost,
+        children=(body,),
+    )
+    rejected = tuple(
+        (name, cost) for name, cost in candidates if name != chosen
+    )
+    return QueryPlan(
+        strategy=chosen,
+        root=root,
+        est_cost=chosen_cost,
+        alternatives=rejected,
+        table=table,
+        geometry=geometry,
+        shard_count=n_shards if chosen == "sharded" else None,
+        shard_backend="threads" if chosen == "sharded" else None,
+    )
+
+
+def execute_poi_plan(
+    plan: QueryPlan,
+    context: EvaluationContext,
+    layer: str,
+    granule_level: str,
+    min_dwell: float = 0.0,
+    moft_name: str = "FM",
+    measure: str = "visits",
+    k: Optional[int] = None,
+):
+    """Execute a POI plan's chosen strategy; returns the aggregate dict."""
+    from repro.query import poi as poi_queries
+
+    options = {
+        "min_dwell": min_dwell,
+        "moft_name": moft_name,
+        "strategy": plan.strategy,
+    }
+    if plan.strategy == "sharded":
+        options["shards"] = plan.shard_count or 1
+        options["backend"] = "threads"
+    if measure == "visits":
+        result = poi_queries.poi_visit_counts(
+            context, layer, granule_level, **options
+        )
+    elif measure == "visitors":
+        result = poi_queries.poi_distinct_visitors(
+            context, layer, granule_level, **options
+        )
+    elif measure == "dwell":
+        result = poi_queries.poi_dwell_times(
+            context, layer, granule_level, **options
+        )
+    elif measure == "topk":
+        if k is None:
+            raise EvaluationError("top-k POI aggregate needs k")
+        result = poi_queries.poi_topk(
+            context, layer, granule_level, k, **options
+        )
+    else:
+        raise EvaluationError(f"unknown POI measure {measure!r}")
+    plan.executed = True
+    plan.result_count = len(result)
+    return result
+
+
 __all__ = [
+    "POI_STRATEGIES",
     "STRATEGIES",
     "CostModel",
     "GeometryStatistics",
@@ -684,9 +857,11 @@ __all__ = [
     "QueryPlan",
     "TableStatistics",
     "execute_plan",
+    "execute_poi_plan",
     "explain",
     "geometry_statistics",
     "plan_count_objects_through",
+    "plan_poi_aggregate",
     "planned_count_objects_through",
     "table_statistics",
 ]

@@ -1,0 +1,301 @@
+"""POI aggregate queries: visits, distinct visitors, dwell, top-k.
+
+The follow-up paper's aggregation language asks questions like "how many
+distinct objects visited each place of interest per hour?" and "which
+are the top-k places by distinct visitors this granule?".  This module
+exposes those four aggregates over an
+:class:`~repro.query.region.EvaluationContext`, under three execution
+strategies pinned byte-identical by the differential campaign:
+
+``serial``
+    Segment every trajectory against the POI discs in one pass
+    (:func:`repro.poi.poi_cells` via a throwaway store build).
+``sharded``
+    Object-partition the MOFT, build per-shard cells (optionally on a
+    thread pool) and :meth:`~repro.poi.PoiVisitStore.merge` them with
+    completeness checks.
+``preagg``
+    Serve from a registered, fresh :class:`~repro.poi.PoiVisitStore`
+    (``poi_preagg_hits``); a stale or missing store is a miss.
+
+The answers are plain dicts in canonical order (POI ids and visitor ids
+sorted by ``repr``), ready for canonical-JSON comparison.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.gis import geometries as gk
+from repro.mo.moft import MOFT
+from repro.poi.store import PoiVisitStore
+from repro.query.region import EvaluationContext
+
+#: Execution strategies for POI aggregates.
+POI_STRATEGIES = ("serial", "sharded", "preagg")
+
+#: Supported aggregate measures.
+POI_MEASURES = ("visits", "visitors", "dwell", "topk")
+
+
+def resolve_pois(
+    context: EvaluationContext, layer: str
+) -> Dict[Hashable, object]:
+    """The POI discs of one layer; typed error when the layer has none."""
+    pois = dict(context.gis.layer(layer).elements(gk.POI))
+    if not pois:
+        raise EvaluationError(
+            f"layer {layer!r} holds no {gk.POI!r} geometries; "
+            "POI aggregates need a POI layer"
+        )
+    return pois
+
+
+def _build_serial(
+    context: EvaluationContext,
+    moft: MOFT,
+    pois: Mapping[Hashable, object],
+    layer: str,
+    granule_level: str,
+    min_dwell: float,
+) -> PoiVisitStore:
+    return PoiVisitStore(
+        moft,
+        context.time,
+        granule_level,
+        pois,
+        layer=layer,
+        min_dwell=min_dwell,
+        obs=context.obs,
+    )
+
+
+def _build_sharded(
+    context: EvaluationContext,
+    moft: MOFT,
+    pois: Mapping[Hashable, object],
+    layer: str,
+    granule_level: str,
+    min_dwell: float,
+    shards: int,
+    backend: str,
+) -> PoiVisitStore:
+    if shards < 1:
+        raise EvaluationError(f"shard count must be >= 1, got {shards}")
+    if backend not in ("serial", "threads"):
+        raise EvaluationError(
+            f"POI shard backend must be 'serial' or 'threads', got {backend!r}"
+        )
+    parts = moft.partition_by_objects(shards)
+
+    def build(part: MOFT) -> PoiVisitStore:
+        return PoiVisitStore(
+            part,
+            context.time,
+            granule_level,
+            pois,
+            layer=layer,
+            min_dwell=min_dwell,
+            obs=context.obs,
+        )
+
+    if backend == "threads" and len(parts) > 1:
+        with ThreadPoolExecutor(max_workers=len(parts)) as pool:
+            stores = list(pool.map(build, parts))
+    else:
+        stores = [build(part) for part in parts]
+    return PoiVisitStore.merge(stores, moft)
+
+
+def poi_store_view(
+    context: EvaluationContext,
+    layer: str,
+    granule_level: str,
+    *,
+    min_dwell: float = 0.0,
+    moft_name: str = "FM",
+    strategy: Optional[str] = None,
+    shards: int = 2,
+    backend: str = "serial",
+) -> Tuple[PoiVisitStore, str]:
+    """Resolve a readable cell store for one POI aggregate.
+
+    Returns ``(store, strategy_used)``.  ``strategy=None`` routes
+    through a registered fresh pre-agg store when one covers the query
+    and falls back to the serial scan otherwise; naming a strategy is
+    strict (``preagg`` without a usable store raises).
+    """
+    if strategy is not None and strategy not in POI_STRATEGIES:
+        raise EvaluationError(
+            f"unknown POI strategy {strategy!r}; expected one of "
+            f"{POI_STRATEGIES}"
+        )
+    pois = resolve_pois(context, layer)
+    moft = context.moft(moft_name)
+    if strategy in (None, "preagg"):
+        store = context.poi_store_for(
+            moft, layer, granule_level, min_dwell, pois
+        )
+        if store is not None and not store.is_stale():
+            context.obs.incr("poi_preagg_hits")
+            return store, "preagg"
+        if strategy == "preagg":
+            raise EvaluationError(
+                "no fresh PoiVisitStore registered for "
+                f"(layer={layer!r}, granule={granule_level!r}, "
+                f"min_dwell={min_dwell!r})"
+            )
+        if context.has_preagg:
+            context.obs.incr("poi_preagg_misses")
+    if strategy == "sharded":
+        built = _build_sharded(
+            context, moft, pois, layer, granule_level, min_dwell,
+            shards, backend,
+        )
+        return built, "sharded"
+    built = _build_serial(
+        context, moft, pois, layer, granule_level, min_dwell
+    )
+    return built, "serial"
+
+
+def poi_visit_counts(
+    context: EvaluationContext,
+    layer: str,
+    granule_level: str,
+    **options,
+) -> Dict[Tuple[Hashable, Hashable], int]:
+    """``{(poi id, granule member): visit count}``."""
+    store, _ = poi_store_view(context, layer, granule_level, **options)
+    return store.visit_counts()
+
+
+def poi_distinct_visitors(
+    context: EvaluationContext,
+    layer: str,
+    granule_level: str,
+    **options,
+) -> Dict[Tuple[Hashable, Hashable], Tuple[Hashable, ...]]:
+    """``{(poi id, granule member): sorted distinct visitor ids}``."""
+    store, _ = poi_store_view(context, layer, granule_level, **options)
+    return store.distinct_visitors()
+
+
+def poi_dwell_times(
+    context: EvaluationContext,
+    layer: str,
+    granule_level: str,
+    **options,
+) -> Dict[Tuple[Hashable, Hashable], float]:
+    """``{(poi id, granule member): clipped dwell}`` (canonical fold order)."""
+    store, _ = poi_store_view(context, layer, granule_level, **options)
+    return store.dwell_times()
+
+
+def poi_topk(
+    context: EvaluationContext,
+    layer: str,
+    granule_level: str,
+    k: int,
+    **options,
+) -> Dict[Hashable, Tuple[Tuple[Hashable, int], ...]]:
+    """Top-``k`` POIs by distinct visitors per granule member."""
+    store, _ = poi_store_view(context, layer, granule_level, **options)
+    return store.topk(k)
+
+
+class PoiQueryBuilder:
+    """Fluent spec for one POI aggregate.
+
+    >>> (PoiQueryBuilder("Lp").per("hour").with_min_dwell(0.5)
+    ...     .sharded(4, backend="threads").top_k(context, 3))
+
+    Terminal methods (``visits`` / ``distinct_visitors`` / ``dwell`` /
+    ``top_k``) take the evaluation context and execute immediately;
+    :meth:`explain` prices the strategies through the planner without
+    executing.
+    """
+
+    def __init__(self, layer: str, moft_name: str = "FM") -> None:
+        self._layer = layer
+        self._moft_name = moft_name
+        self._granule: Optional[str] = None
+        self._min_dwell = 0.0
+        self._strategy: Optional[str] = None
+        self._shards = 2
+        self._backend = "serial"
+
+    def per(self, granule_level: str) -> "PoiQueryBuilder":
+        self._granule = granule_level
+        return self
+
+    def from_moft(self, name: str) -> "PoiQueryBuilder":
+        self._moft_name = name
+        return self
+
+    def with_min_dwell(self, min_dwell: float) -> "PoiQueryBuilder":
+        self._min_dwell = float(min_dwell)
+        return self
+
+    def serial(self) -> "PoiQueryBuilder":
+        self._strategy = "serial"
+        return self
+
+    def sharded(self, shards: int, backend: str = "serial") -> "PoiQueryBuilder":
+        self._strategy = "sharded"
+        self._shards = shards
+        self._backend = backend
+        return self
+
+    def preagg(self) -> "PoiQueryBuilder":
+        self._strategy = "preagg"
+        return self
+
+    def _options(self) -> Dict[str, object]:
+        if self._granule is None:
+            raise EvaluationError(
+                "POI query needs a granule level; call .per(level)"
+            )
+        return {
+            "min_dwell": self._min_dwell,
+            "moft_name": self._moft_name,
+            "strategy": self._strategy,
+            "shards": self._shards,
+            "backend": self._backend,
+        }
+
+    def visits(self, context: EvaluationContext):
+        return poi_visit_counts(
+            context, self._layer, self._granule, **self._options()
+        )
+
+    def distinct_visitors(self, context: EvaluationContext):
+        return poi_distinct_visitors(
+            context, self._layer, self._granule, **self._options()
+        )
+
+    def dwell(self, context: EvaluationContext):
+        return poi_dwell_times(
+            context, self._layer, self._granule, **self._options()
+        )
+
+    def top_k(self, context: EvaluationContext, k: int):
+        return poi_topk(
+            context, self._layer, self._granule, k, **self._options()
+        )
+
+    def explain(self, context: EvaluationContext, measure: str = "visits"):
+        from repro.query.planner import plan_poi_aggregate
+
+        options = self._options()
+        return plan_poi_aggregate(
+            context,
+            self._layer,
+            self._granule,
+            min_dwell=self._min_dwell,
+            moft_name=self._moft_name,
+            measure=measure,
+            force_strategy=self._strategy,
+        )

@@ -146,6 +146,40 @@ class EvaluationContext:
                 return store
         return None
 
+    def poi_store_for(
+        self,
+        moft: MOFT,
+        layer: Optional[str],
+        granule_level: str,
+        min_dwell: float,
+        ids: Iterable[Hashable],
+    ):
+        """The first registered :class:`~repro.poi.PoiVisitStore` able to
+        serve this POI aggregate.
+
+        POI stores register through :meth:`register_preagg` (same
+        registry, same lifecycle); matching additionally pins the
+        granule level and the ``min_dwell`` threshold, both baked into
+        the cells at build time.
+        """
+        from repro.poi.store import PoiVisitStore
+
+        wanted = set(ids)
+        for store in self._preagg_stores:
+            if not isinstance(store, PoiVisitStore):
+                continue
+            if store.moft is not moft:
+                continue
+            if layer is not None and store.layer != layer:
+                continue
+            if store.granule_level != granule_level:
+                continue
+            if store.min_dwell != float(min_dwell):
+                continue
+            if wanted <= store._gid_set:
+                return store
+        return None
+
     def geometry_index(
         self,
         layer: str,

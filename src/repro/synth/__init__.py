@@ -7,6 +7,7 @@ from repro.synth.movement import (
     random_waypoint_moft,
     route_following_moft,
 )
+from repro.synth.poi import install_city_pois, stop_biased_moft
 from repro.synth.rng import NumpyRandomSource, RandomLike, resolve_rng
 from repro.synth.warehouse import (
     revenue_of_cities,
@@ -42,8 +43,10 @@ __all__ = [
     "stores_dimension",
     "adversarial_moft",
     "commuter_moft",
+    "install_city_pois",
     "random_waypoint_moft",
     "route_following_moft",
+    "stop_biased_moft",
     "INCOMES",
     "LOW_INCOME_THRESHOLD",
     "MORNING_INSTANTS",

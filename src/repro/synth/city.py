@@ -36,6 +36,7 @@ from repro.gis import (
     ALL,
     LINE,
     NODE,
+    POI,
     POINT,
     POLYGON,
     POLYLINE,
@@ -88,6 +89,8 @@ def city_schema() -> GISDimensionSchema:
         LayerHierarchy("Ls", [(POINT, NODE), (NODE, ALL)]),
         LayerHierarchy("Lsto", [(POINT, NODE), (NODE, ALL)]),
         LayerHierarchy("Lg", [(POINT, NODE), (NODE, ALL)]),
+        # Places of interest (discs); populated by repro.synth.poi.
+        LayerHierarchy("Lp", [(POINT, POI), (POI, ALL)]),
     ]
     placements = [
         AttributePlacement("neighborhood", POLYGON, "Ln"),
@@ -97,11 +100,13 @@ def city_schema() -> GISDimensionSchema:
         AttributePlacement("school", NODE, "Ls"),
         AttributePlacement("store", NODE, "Lsto"),
         AttributePlacement("gas_station", NODE, "Lg"),
+        AttributePlacement("place", POI, "Lp"),
     ]
     dimensions = [
         DimensionSchema("Neighbourhoods", [("neighborhood", "city")]),
         DimensionSchema("Streets", [("street", "streetType")]),
         DimensionSchema("Schools", [("school", "district")]),
+        DimensionSchema("Places", [("place", "category")]),
     ]
     return GISDimensionSchema(hierarchies, placements, dimensions)
 

@@ -35,12 +35,14 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Set, Tuple
 
 from repro.geometry.point import Point
+from repro.geometry.poi import Poi
 from repro.geometry.polygon import Polygon
 from repro.geometry.polyline import Polyline
 from repro.gis import (
     ALL,
     LINE,
     NODE,
+    POI,
     POINT,
     POLYGON,
     POLYLINE,
@@ -135,22 +137,49 @@ def figure2_schema() -> GISDimensionSchema:
     )
     schools = LayerHierarchy("Ls", [(POINT, NODE), (NODE, ALL)])
     neighborhoods = LayerHierarchy("Ln", [(POINT, POLYGON), (POLYGON, ALL)])
+    # The follow-up paper's extension: places of interest as discs.
+    places = LayerHierarchy("Lp", [(POINT, POI), (POI, ALL)])
     placements = [
         AttributePlacement("river", POLYLINE, "Lr"),
         AttributePlacement("school", NODE, "Ls"),
         AttributePlacement("neighborhood", POLYGON, "Ln"),
+        AttributePlacement("place", POI, "Lp"),
     ]
     dimensions = [
         DimensionSchema("Rivers", [("river", "basin")]),
         DimensionSchema("Neighbourhoods", [("neighborhood", "city")]),
+        DimensionSchema("Places", [("place", "category")]),
     ]
     return GISDimensionSchema(
-        [rivers, schools, neighborhoods], placements, dimensions
+        [rivers, schools, neighborhoods, places], placements, dimensions
     )
 
 
-def figure1_gis() -> GISDimensionInstance:
-    """The populated GIS of Figure 1 over the Figure 2 schema."""
+#: Default disc radius of the Figure 1 places of interest.
+FIG1_POI_RADIUS = 3.0
+
+
+def figure1_pois(radius: float = FIG1_POI_RADIUS) -> Dict[str, Poi]:
+    """The Figure 1 places of interest: both schools and the market.
+
+    Discs at the school nodes plus a central market — sized so the
+    Table 1 buses produce real stops (O1 dwells at the south school,
+    O6 grazes the market).
+    """
+    return {
+        "poi_market": Poi.at(10.0, 10.0, radius),
+        "poi_school_north": Poi.at(15.0, 15.0, radius),
+        "poi_school_south": Poi.at(5.0, 5.0, radius),
+    }
+
+
+def figure1_gis(with_pois: bool = False) -> GISDimensionInstance:
+    """The populated GIS of Figure 1 over the Figure 2 schema.
+
+    ``with_pois`` also populates the ``Lp`` place-of-interest layer
+    (:func:`figure1_pois`) with its ``place`` members and category
+    rollups — the world of the POI aggregation workload.
+    """
     gis = GISDimensionInstance(figure2_schema())
     for name, polygon in neighborhood_polygons().items():
         gid = f"pg_{name}"
@@ -174,6 +203,18 @@ def figure1_gis() -> GISDimensionInstance:
     gis.add_geometry("Ls", NODE, "nd_school_north", Point(15, 15))
     gis.set_alpha("school", "south-school", "nd_school_south")
     gis.set_alpha("school", "north-school", "nd_school_north")
+    if with_pois:
+        categories = {
+            "poi_market": "market",
+            "poi_school_north": "school",
+            "poi_school_south": "school",
+        }
+        places = gis.application_instance("Places")
+        for gid, poi in figure1_pois().items():
+            member = gid[len("poi_") :]
+            gis.add_geometry("Lp", POI, gid, poi)
+            gis.set_alpha("place", member, gid)
+            places.set_rollup("place", member, "category", categories[gid])
     return gis
 
 
@@ -223,6 +264,8 @@ class PaperInstance:
         )
 
 
-def figure1_instance() -> PaperInstance:
+def figure1_instance(with_pois: bool = False) -> PaperInstance:
     """Assemble the full Figure 1 / Table 1 world."""
-    return PaperInstance(figure1_gis(), figure1_time(), table1_moft())
+    return PaperInstance(
+        figure1_gis(with_pois=with_pois), figure1_time(), table1_moft()
+    )

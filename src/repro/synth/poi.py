@@ -1,0 +1,139 @@
+"""POI layer population and stop-biased movement generators.
+
+Two pieces the POI workload needs from the synthetic city:
+
+* :func:`install_city_pois` — turn every school and store node of a
+  :class:`~repro.synth.city.SyntheticCity` into a place-of-interest disc
+  on the ``Lp`` layer (deterministic: derived from the node geometry,
+  no randomness);
+* :func:`stop_biased_moft` — a movement model that *actually stops*:
+  objects hop between POI centers and dwell there for several instants
+  (with sub-radius jitter), so stop/move segmentation finds real
+  episodes instead of the near-zero dwell a random-waypoint walker
+  produces.
+
+Deterministic in ``seed``; ``rng`` overrides it, as everywhere in
+:mod:`repro.synth`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.geometry.poi import Poi
+from repro.gis import NODE, POI
+from repro.mo.moft import MOFT
+from repro.synth.city import SyntheticCity
+from repro.synth.movement import _validate
+from repro.synth.rng import RandomLike, resolve_rng
+
+#: Category assigned per source layer when installing city POIs.
+_CITY_POI_SOURCES = (("Ls", "school"), ("Lsto", "store"))
+
+
+def install_city_pois(
+    city: SyntheticCity, radius: float | None = None
+) -> Dict[str, Poi]:
+    """Populate the city's ``Lp`` layer with discs at schools and stores.
+
+    Every node of the ``Ls`` (schools) and ``Lsto`` (stores) layers
+    becomes one POI ``poi_<node gid>`` with ``place`` member
+    ``pl_<node gid>`` rolling up to its source category.  ``radius``
+    defaults to a quarter block.  Returns ``{poi gid: disc}``.
+    """
+    if radius is None:
+        radius = city.config.block_size / 4.0
+    radius = float(radius)
+    if radius <= 0:
+        raise SchemaError(f"POI radius must be positive, got {radius!r}")
+    gis = city.gis
+    places = gis.application_instance("Places")
+    out: Dict[str, Poi] = {}
+    for layer_name, category in _CITY_POI_SOURCES:
+        nodes = gis.layer(layer_name).elements(NODE)
+        for node_gid in sorted(nodes, key=repr):
+            poi = Poi(nodes[node_gid], radius)
+            gid = f"poi_{node_gid}"
+            member = f"pl_{node_gid}"
+            gis.add_geometry("Lp", POI, gid, poi)
+            gis.set_alpha("place", member, gid)
+            places.set_rollup("place", member, "category", category)
+            out[gid] = poi
+    if not out:
+        raise SchemaError("city has no school or store nodes to promote")
+    return out
+
+
+def stop_biased_moft(
+    pois: Mapping[Hashable, Poi] | Sequence[Poi],
+    n_objects: int,
+    n_instants: int,
+    dwell_instants: int = 3,
+    travel_instants: int = 2,
+    seed: int = 23,
+    name: str = "FM",
+    oid_prefix: str = "visitor",
+    rng: RandomLike = None,
+) -> MOFT:
+    """Objects hopping between POIs, dwelling ``dwell_instants`` at each.
+
+    Each object repeatedly picks a POI (never the one it is at), travels
+    toward it over ``travel_instants`` instants, then sits near its
+    center — jittered within half the radius, so every dwell sample is
+    strictly inside the disc — for ``dwell_instants`` instants.
+    Positions are emitted at integer instants ``0 .. n_instants - 1``.
+    """
+    _validate(n_objects, n_instants)
+    if dwell_instants < 1:
+        raise SchemaError("dwell_instants must be >= 1")
+    if travel_instants < 1:
+        raise SchemaError("travel_instants must be >= 1")
+    if isinstance(pois, Mapping):
+        discs = [pois[gid] for gid in sorted(pois, key=repr)]
+    else:
+        discs = list(pois)
+    if not discs:
+        raise SchemaError("need at least one POI to visit")
+    rng = resolve_rng(seed, rng)
+    moft = MOFT(name)
+
+    def jittered(disc: Poi) -> tuple:
+        r = disc.radius * 0.5 * rng.uniform(0.0, 1.0)
+        # Deterministic angle from the same stream; uniform enough.
+        angle = rng.uniform(0.0, 6.283185307179586)
+        from math import cos, sin
+
+        return (disc.center.x + r * cos(angle), disc.center.y + r * sin(angle))
+
+    for index in range(n_objects):
+        oid = f"{oid_prefix}{index}"
+        at = rng.randint(0, len(discs) - 1)
+        x, y = jittered(discs[at])
+        t = 0
+        while t < n_instants:
+            # Dwell at the current POI.
+            for _ in range(dwell_instants):
+                if t >= n_instants:
+                    break
+                moft.add(oid, t, x, y)
+                t += 1
+            if t >= n_instants:
+                break
+            # Pick a different POI and travel there linearly.
+            if len(discs) > 1:
+                nxt = rng.randint(0, len(discs) - 2)
+                if nxt >= at:
+                    nxt += 1
+            else:
+                nxt = at
+            tx, ty = jittered(discs[nxt])
+            for step in range(1, travel_instants + 1):
+                if t >= n_instants:
+                    break
+                w = step / travel_instants
+                moft.add(oid, t, x + w * (tx - x), y + w * (ty - y))
+                t += 1
+            x, y = tx, ty
+            at = nxt
+    return moft

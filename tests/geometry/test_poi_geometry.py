@@ -1,0 +1,147 @@
+"""Unit tests for the Poi disc geometry and its predicates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.poi import Poi
+from repro.geometry.polygon import Polygon
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+
+
+@pytest.fixture()
+def unit_disc():
+    return Poi.at(0.0, 0.0, 1.0)
+
+
+@pytest.fixture()
+def square():
+    return Polygon(
+        [Point(-2.0, -2.0), Point(2.0, -2.0), Point(2.0, 2.0), Point(-2.0, 2.0)]
+    )
+
+
+class TestConstruction:
+    def test_center_must_be_point(self):
+        with pytest.raises(GeometryError):
+            Poi((0.0, 0.0), 1.0)
+
+    @pytest.mark.parametrize("radius", [0.0, -1.0, math.nan, math.inf])
+    def test_radius_must_be_finite_positive(self, radius):
+        with pytest.raises(GeometryError):
+            Poi.at(0.0, 0.0, radius)
+
+    def test_immutable(self, unit_disc):
+        with pytest.raises(AttributeError):
+            unit_disc.radius = 2.0
+
+    def test_equality_and_hash(self, unit_disc):
+        same = Poi(Point(0.0, 0.0), 1.0)
+        assert unit_disc == same
+        assert hash(unit_disc) == hash(same)
+        assert unit_disc != Poi.at(0.0, 0.0, 2.0)
+        assert unit_disc.__eq__(object()) is NotImplemented
+
+    def test_repr_round_trips_fields(self, unit_disc):
+        assert "Poi" in repr(unit_disc)
+        assert unit_disc.as_tuple() == (0.0, 0.0, 1.0)
+
+    def test_bbox_and_area(self, unit_disc):
+        bbox = unit_disc.bbox
+        assert (bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y) == (
+            -1.0, -1.0, 1.0, 1.0,
+        )
+        assert math.isclose(unit_disc.area, math.pi)
+
+
+class TestPredicates:
+    def test_contains_point_is_closed(self, unit_disc):
+        assert unit_disc.contains_point(Point(1.0, 0.0))  # on the rim
+        assert unit_disc.contains_point(Point(0.5, 0.5))
+        assert not unit_disc.contains_point(Point(1.0, 1.0))
+
+    def test_contains_segment(self, unit_disc):
+        inside = Segment(Point(-0.5, 0.0), Point(0.5, 0.0))
+        sticking_out = Segment(Point(0.0, 0.0), Point(2.0, 0.0))
+        assert unit_disc.contains_segment(inside)
+        assert not unit_disc.contains_segment(sticking_out)
+
+    def test_intersects_segment(self, unit_disc):
+        crossing = Segment(Point(-2.0, 0.0), Point(2.0, 0.0))
+        tangent = Segment(Point(-2.0, 1.0), Point(2.0, 1.0))
+        missing = Segment(Point(-2.0, 1.5), Point(2.0, 1.5))
+        assert unit_disc.intersects_segment(crossing)
+        assert unit_disc.intersects_segment(tangent)  # closed disc
+        assert not unit_disc.intersects_segment(missing)
+
+    def test_intersects_polyline(self, unit_disc):
+        through = Polyline(
+            [Point(-2.0, 5.0), Point(-2.0, 0.0), Point(2.0, 0.0)]
+        )
+        away = Polyline([Point(5.0, 5.0), Point(6.0, 5.0), Point(6.0, 6.0)])
+        assert unit_disc.intersects_polyline(through)
+        assert not unit_disc.intersects_polyline(away)
+
+    def test_intersects_polygon_center_inside(self, unit_disc, square):
+        assert unit_disc.intersects_polygon(square)
+
+    def test_intersects_polygon_by_boundary(self, square):
+        # Center outside the square but the rim reaches its edge.
+        grazing = Poi.at(3.0, 0.0, 1.0)  # rim exactly touches the x=2 edge
+        assert grazing.intersects_polygon(square)
+        assert not Poi.at(4.0, 0.0, 1.0).intersects_polygon(square)
+
+    def test_intersects_poi(self, unit_disc):
+        assert unit_disc.intersects_poi(Poi.at(2.0, 0.0, 1.0))  # tangent
+        assert not unit_disc.intersects_poi(Poi.at(2.1, 0.0, 1.0))
+
+    def test_contains_poi(self, unit_disc):
+        big = Poi.at(0.0, 0.0, 3.0)
+        assert big.contains_poi(unit_disc)
+        assert not unit_disc.contains_poi(big)
+        offset = Poi.at(2.5, 0.0, 0.5)
+        assert big.contains_poi(offset)  # |c|+r = 3.0 <= 3.0, boundary case
+        assert not big.contains_poi(Poi.at(2.6, 0.0, 0.5))
+
+    def test_contains_polygon(self, square):
+        big = Poi.at(0.0, 0.0, 3.0)  # covers the square's corners (|2,2| < 3)
+        small = Poi.at(0.0, 0.0, 1.0)
+        assert big.contains_polygon(square)
+        assert not small.contains_polygon(square)
+
+    def test_inside_polygon(self, square):
+        fits = Poi.at(0.0, 0.0, 1.5)
+        too_big = Poi.at(0.0, 0.0, 2.5)
+        off_center = Poi.at(1.5, 0.0, 1.0)  # rim crosses the x=2 edge
+        outside = Poi.at(5.0, 0.0, 0.5)
+        assert fits.inside_polygon(square)
+        assert not too_big.inside_polygon(square)
+        assert not off_center.inside_polygon(square)
+        assert not outside.inside_polygon(square)
+
+
+class TestGisIntegration:
+    def test_kind_of_classifies_poi(self, unit_disc):
+        from repro.gis.geometries import POI, kind_of
+
+        assert kind_of(unit_disc) == POI
+
+    def test_poi_is_not_a_point(self, unit_disc):
+        assert not isinstance(unit_disc, Point)
+
+    def test_bbox_dispatch(self, unit_disc):
+        from repro.geometry.overlay import geometry_bbox
+
+        bbox = geometry_bbox(unit_disc)
+        assert (bbox.min_x, bbox.max_x) == (-1.0, 1.0)
+
+    def test_contains_dispatch(self, unit_disc, square):
+        from repro.geometry.overlay import geometry_contains
+
+        assert geometry_contains(unit_disc, Point(0.5, 0.0))
+        assert geometry_contains(square, unit_disc.center)

@@ -1,0 +1,201 @@
+"""Piet-QL grammar coverage for the POI aggregation part.
+
+Parse/format round-trips for every measure head (VISITS, DISTINCT
+VISITORS, DWELL, TOP k) with and without MINDWELL and an AGGREGATE
+middle part, EXPLAIN on a routed POI query, and the typed errors: a
+POI part aimed at a layer whose binding is not a place-of-interest
+layer, and the syntax/AST validation failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    PietQLError,
+    PietQLExecutionError,
+    PietQLSyntaxError,
+)
+from repro.gis import POI, POLYGON
+from repro.pietql import LayerBinding, PietQLExecutor, run
+from repro.pietql.ast import LayerRef, PoiAggQuery
+from repro.pietql.format import format_query
+from repro.pietql.parser import parse
+from repro.synth.paperdata import figure1_instance
+
+pytestmark = pytest.mark.poi
+
+ROUND_TRIP_TEXTS = [
+    "SELECT layer.Lp FROM Fig2 | VISITS FROM FMbus AT layer.Lp BY hour",
+    "SELECT layer.Lp FROM Fig2 | DISTINCT VISITORS FROM FMbus "
+    "AT layer.Lp BY hour MINDWELL 0.5",
+    "SELECT layer.Lp FROM Fig2 | DWELL FROM FMbus AT layer.Lp BY day",
+    "SELECT layer.Lp FROM Fig2 | TOP 3 FROM FMbus AT layer.Lp BY hour",
+    "SELECT layer.Ln FROM Fig2 | AGGREGATE sum(income) BY city "
+    "| VISITS FROM FMbus AT layer.Lp BY hour",
+    "SELECT layer.Lp FROM Fig2 | TOP 2 FROM FMbus AT layer.Lp "
+    "BY hour MINDWELL 1.5",
+]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return figure1_instance(with_pois=True)
+
+
+@pytest.fixture()
+def executor(world):
+    return PietQLExecutor(world.context())
+
+
+class TestParse:
+    def test_visits_fields(self):
+        query = parse(ROUND_TRIP_TEXTS[0])
+        poi = query.poi
+        assert poi is not None
+        assert poi.measure == "visits"
+        assert poi.moft_name == "FMbus"
+        assert poi.at == LayerRef("Lp")
+        assert poi.by_level == "hour"
+        assert poi.k is None
+        assert poi.min_dwell == 0.0
+
+    def test_distinct_visitors_with_min_dwell(self):
+        poi = parse(ROUND_TRIP_TEXTS[1]).poi
+        assert poi.measure == "visitors"
+        assert poi.min_dwell == 0.5
+
+    def test_topk(self):
+        poi = parse(ROUND_TRIP_TEXTS[3]).poi
+        assert (poi.measure, poi.k) == ("topk", 3)
+
+    def test_after_aggregate_part(self):
+        query = parse(ROUND_TRIP_TEXTS[4])
+        assert query.olap is not None
+        assert query.poi is not None
+        assert query.moving_objects is None
+
+    def test_poi_and_moving_parts_are_exclusive(self):
+        """A pipe part is either a moving-object part or a POI part."""
+        query = parse(
+            "SELECT layer.Ln FROM Fig2 | COUNT OBJECTS FROM FMbus"
+        )
+        assert query.moving_objects is not None and query.poi is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            # TOP needs an integer literal
+            "SELECT layer.Lp FROM Fig2 | TOP FROM FMbus AT layer.Lp BY hour",
+            "SELECT layer.Lp FROM Fig2 | TOP 2.5 FROM FMbus "
+            "AT layer.Lp BY hour",
+            # missing clauses
+            "SELECT layer.Lp FROM Fig2 | VISITS FROM FMbus BY hour",
+            "SELECT layer.Lp FROM Fig2 | VISITS FROM FMbus AT layer.Lp",
+            # DISTINCT must be followed by VISITORS
+            "SELECT layer.Lp FROM Fig2 | DISTINCT DWELL FROM FMbus "
+            "AT layer.Lp BY hour",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(PietQLSyntaxError):
+            parse(bad)
+
+    def test_ast_validation(self):
+        at = LayerRef("Lp")
+        with pytest.raises(PietQLError):
+            PoiAggQuery("teleports", "FM", at, "hour")
+        with pytest.raises(PietQLError):
+            PoiAggQuery("topk", "FM", at, "hour")  # k required
+        with pytest.raises(PietQLError):
+            PoiAggQuery("topk", "FM", at, "hour", k=0)
+        with pytest.raises(PietQLError):
+            PoiAggQuery("visits", "FM", at, "hour", k=3)  # k forbidden
+        with pytest.raises(PietQLError):
+            PoiAggQuery("visits", "FM", at, "hour", min_dwell=-1.0)
+        with pytest.raises(PietQLError):
+            PoiAggQuery("visits", "FM", at, "hour", min_dwell=float("nan"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_TEXTS)
+    def test_parse_format_parse_fixed_point(self, text):
+        once = parse(text)
+        rendered = format_query(once)
+        assert parse(rendered) == once
+        # format is a fixed point of its own output
+        assert format_query(parse(rendered)) == rendered
+
+
+class TestExecution:
+    def test_visits_on_fig1(self, executor):
+        result = executor.execute(ROUND_TRIP_TEXTS[0])
+        assert result.poi_result == {
+            ("poi_school_south", 2): 1,
+            ("poi_market", 2): 1,
+        }
+
+    def test_min_dwell_filters(self, executor):
+        result = executor.execute(
+            "SELECT layer.Lp FROM Fig2 | VISITS FROM FMbus "
+            "AT layer.Lp BY hour MINDWELL 100.0"
+        )
+        assert result.poi_result == {}
+
+    def test_topk_result_shape(self, executor):
+        result = executor.execute(ROUND_TRIP_TEXTS[3])
+        for member, ranking in result.poi_result.items():
+            assert isinstance(member, int)
+            assert all(len(entry) == 2 for entry in ranking)
+
+    def test_explain_attaches_routed_plan(self, executor):
+        result = executor.execute("EXPLAIN " + ROUND_TRIP_TEXTS[0])
+        assert result.plan is not None
+        assert result.plan.strategy in ("serial", "sharded", "preagg")
+        rendered = result.plan.render()
+        assert "PoiAggregate" in rendered
+        # EXPLAIN executes normally and attaches the plan alongside.
+        assert result.poi_result == {
+            ("poi_school_south", 2): 1,
+            ("poi_market", 2): 1,
+        }
+
+    def test_non_poi_binding_is_typed_error(self, world):
+        executor = PietQLExecutor(world.context())
+        with pytest.raises(
+            PietQLExecutionError, match="place-of-interest"
+        ):
+            executor.execute(
+                "SELECT layer.Ln FROM Fig2 | VISITS FROM FMbus "
+                "AT layer.Ln BY hour"
+            )
+
+    def test_explicit_binding_to_wrong_kind_is_typed_error(self, world):
+        executor = PietQLExecutor(
+            world.context(),
+            {"places": LayerBinding("Ln", POLYGON)},
+        )
+        with pytest.raises(
+            PietQLExecutionError, match="place-of-interest"
+        ):
+            executor.execute(
+                "SELECT layer.Ln FROM Fig2 | VISITS FROM FMbus "
+                "AT layer.places BY hour"
+            )
+
+    def test_explicit_poi_binding_works(self, world):
+        executor = PietQLExecutor(
+            world.context(), {"places": LayerBinding("Lp", POI)}
+        )
+        result = executor.execute(
+            "SELECT layer.Lp FROM Fig2 | VISITS FROM FMbus "
+            "AT layer.places BY hour"
+        )
+        assert sum(result.poi_result.values()) == 2
+
+    def test_run_helper(self, world):
+        result = run(
+            ROUND_TRIP_TEXTS[2], world.context()
+        )
+        assert result.poi_result
+        assert all(v > 0 for v in result.poi_result.values())

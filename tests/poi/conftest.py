@@ -1,0 +1,84 @@
+"""Shared fixtures of the places-of-interest campaign.
+
+Two worlds:
+
+* **fig1** — the paper's Table 1 buses over the Figure 1 city with its
+  three places of interest (two schools and the market);
+* **city** — the synthetic city with every school and store promoted to
+  a disc and a stop-biased population of 100 objects x 100 instants
+  (10k samples), the scale the differential oracle sweeps.
+
+``canon`` renders any store answer as canonical JSON — sorted composite
+keys stringified by ``repr``, float values via ``repr``-faithful
+``json`` encoding — so "byte-identical" is a plain string equality.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.query.region import EvaluationContext
+from repro.synth import (
+    CityConfig,
+    build_city,
+    figure1_instance,
+    install_city_pois,
+    stop_biased_moft,
+)
+from repro.temporal.calendar import hourly
+from repro.temporal.timedim import TimeDimension
+
+CITY_OBJECTS = 100
+CITY_INSTANTS = 100
+
+
+def canon(payload) -> str:
+    """Canonical JSON of a store answer (dict keyed by tuples or ids)."""
+
+    def value(v):
+        if isinstance(v, (tuple, list, frozenset, set)):
+            return [value(item) for item in v]
+        return v
+
+    if isinstance(payload, dict):
+        rows = sorted(
+            ((repr(k), value(v)) for k, v in payload.items()),
+            key=lambda kv: kv[0],
+        )
+        return json.dumps(rows, separators=(",", ":"))
+    return json.dumps(value(payload), separators=(",", ":"))
+
+
+@pytest.fixture(scope="session")
+def fig1_world():
+    """The Figure 1 instance with its POI layer populated."""
+    return figure1_instance(with_pois=True)
+
+
+@pytest.fixture()
+def fig1_context(fig1_world):
+    return fig1_world.context()
+
+
+@pytest.fixture(scope="session")
+def city_world():
+    """Synthetic city + promoted POIs + 10k stop-biased samples."""
+    city = build_city(
+        CityConfig(cols=6, rows=6), rng=np.random.default_rng(20060109)
+    )
+    pois = install_city_pois(city)
+    time_dim = TimeDimension.from_mapping(
+        hourly(datetime(2006, 1, 9, 0, 0)), range(CITY_INSTANTS)
+    )
+    moft = stop_biased_moft(pois, CITY_OBJECTS, CITY_INSTANTS)
+    return city, pois, time_dim, moft
+
+
+@pytest.fixture()
+def city_context(city_world):
+    city, _, time_dim, moft = city_world
+    return EvaluationContext(city.gis, time_dim, moft)

@@ -1,0 +1,202 @@
+"""Property tests of the stop/move segmentation.
+
+The invariants any SMoT-style segmentation must satisfy, searched with
+hypothesis over random trajectories and disc layouts:
+
+* the episode sequence **alternates** stop/move and **tiles** the
+  trajectory's time span exactly (each episode starts where the
+  previous ended; no gaps, no overlap);
+* stop dwell plus move time equals the trajectory duration to 1e-9;
+* inserting a sample *on* the interpolated path (which changes no
+  geometry) leaves the episodes unchanged;
+* degenerate knobs behave: ``min_dwell=0`` is the default semantics,
+  and an infinite radius swallows the whole trajectory into one stop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError, TrajectoryError
+from repro.geometry.poi import Poi
+from repro.mo.trajectory import (
+    LinearInterpolationTrajectory,
+    TrajectorySample,
+)
+from repro.poi import segment_stops_moves
+from repro.poi.segmentation import Episode
+
+pytestmark = pytest.mark.poi
+
+coord = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def trajectories(draw, min_points: int = 2, max_points: int = 12):
+    """A strictly time-increasing sampled trajectory."""
+    n = draw(st.integers(min_points, max_points))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    points = [(t, draw(coord), draw(coord)) for t in times]
+    return LinearInterpolationTrajectory(TrajectorySample(points))
+
+
+@st.composite
+def poi_sets(draw, max_pois: int = 4):
+    n = draw(st.integers(1, max_pois))
+    out = {}
+    for i in range(n):
+        out[f"poi_{i}"] = Poi.at(
+            draw(coord), draw(coord), draw(st.floats(0.5, 20.0))
+        )
+    return out
+
+
+def assert_tiles(trajectory, episodes):
+    sample = trajectory.sample
+    t_min, t_max = sample.times[0], sample.times[-1]
+    assert episodes, "a non-empty trajectory always yields episodes"
+    assert episodes[0].start == t_min
+    assert episodes[-1].end == t_max
+    for before, after in zip(episodes, episodes[1:]):
+        assert before.end == after.start, "episodes must tile exactly"
+        assert not (
+            before.kind == after.kind
+        ), "adjacent episodes must alternate stop/move"
+
+
+class TestInvariants:
+    @given(trajectory=trajectories(), pois=poi_sets(), data=st.data())
+    @settings(max_examples=120)
+    def test_alternates_and_tiles(self, trajectory, pois, data):
+        min_dwell = data.draw(
+            st.one_of(st.just(0.0), st.floats(0.0, 5.0, allow_nan=False))
+        )
+        episodes = segment_stops_moves(trajectory, pois, min_dwell=min_dwell)
+        assert_tiles(trajectory, episodes)
+        for episode in episodes:
+            if episode.is_stop:
+                assert episode.poi in pois
+                assert episode.dwell >= min_dwell
+                assert episode.dwell > 0.0
+            else:
+                assert episode.poi is None
+
+    @given(trajectory=trajectories(), pois=poi_sets())
+    @settings(max_examples=120)
+    def test_dwell_tiles_duration(self, trajectory, pois):
+        episodes = segment_stops_moves(trajectory, pois)
+        sample = trajectory.sample
+        duration = sample.times[-1] - sample.times[0]
+        total = sum(e.dwell for e in episodes)
+        assert math.isclose(total, duration, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(trajectory=trajectories(), pois=poi_sets(), data=st.data())
+    @settings(max_examples=120)
+    def test_on_path_insertion_invariance(self, trajectory, pois, data):
+        """A sample on the interpolated segment changes no episode."""
+        sample = trajectory.sample
+        index = data.draw(st.integers(0, len(sample.times) - 2))
+        w = data.draw(st.floats(0.25, 0.75))
+        t0, t1 = sample.times[index], sample.times[index + 1]
+        t_new = t0 + w * (t1 - t0)
+        if t_new in (t0, t1):
+            return
+        _, x0, y0 = sample[index]
+        _, x1, y1 = sample[index + 1]
+        u = (t_new - t0) / (t1 - t0)
+        points = sorted(
+            list(sample)
+            + [(t_new, x0 + u * (x1 - x0), y0 + u * (y1 - y0))]
+        )
+        refined = LinearInterpolationTrajectory(TrajectorySample(points))
+        base = segment_stops_moves(trajectory, pois)
+        got = segment_stops_moves(refined, pois)
+        assert [
+            (e.kind, e.poi) for e in got
+        ] == [(e.kind, e.poi) for e in base]
+        for a, b in zip(base, got):
+            assert math.isclose(a.start, b.start, rel_tol=1e-9, abs_tol=1e-9)
+            assert math.isclose(a.end, b.end, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(trajectory=trajectories(), pois=poi_sets())
+    @settings(max_examples=80)
+    def test_min_dwell_zero_is_default(self, trajectory, pois):
+        assert segment_stops_moves(
+            trajectory, pois, min_dwell=0.0
+        ) == segment_stops_moves(trajectory, pois)
+
+    @given(trajectory=trajectories())
+    @settings(max_examples=80)
+    def test_infinite_radius_is_one_stop(self, trajectory):
+        from repro.geometry.point import Point
+
+        episodes = segment_stops_moves(
+            trajectory, {"everywhere": Point(0.0, 0.0)}, radius=math.inf
+        )
+        sample = trajectory.sample
+        assert len(episodes) == 1
+        (only,) = episodes
+        assert only.is_stop and only.poi == "everywhere"
+        assert only.start == sample.times[0]
+        assert only.end == sample.times[-1]
+
+    @given(trajectory=trajectories(), pois=poi_sets())
+    @settings(max_examples=80)
+    def test_large_min_dwell_leaves_one_move(self, trajectory, pois):
+        sample = trajectory.sample
+        duration = sample.times[-1] - sample.times[0]
+        episodes = segment_stops_moves(
+            trajectory, pois, min_dwell=duration * 2 + 1.0
+        )
+        assert [e.kind for e in episodes] == ["move"]
+
+
+class TestValidation:
+    def test_episode_rejects_reversed_interval(self):
+        with pytest.raises(TrajectoryError):
+            Episode("stop", 2.0, 1.0, poi="p")
+
+    def test_episode_rejects_bad_kind(self):
+        with pytest.raises(TrajectoryError):
+            Episode("pause", 0.0, 1.0)
+
+    def test_negative_min_dwell_rejected(self):
+        trajectory = LinearInterpolationTrajectory(
+            TrajectorySample([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])
+        )
+        with pytest.raises(TrajectoryError):
+            segment_stops_moves(
+                trajectory, {"p": Poi.at(0.0, 0.0, 1.0)}, min_dwell=-1.0
+            )
+
+    def test_point_poi_needs_radius(self):
+        from repro.geometry.point import Point
+
+        trajectory = LinearInterpolationTrajectory(
+            TrajectorySample([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])
+        )
+        with pytest.raises(GeometryError):
+            segment_stops_moves(trajectory, {"p": Point(0.0, 0.0)})
+
+    def test_poi_validation(self):
+        with pytest.raises(GeometryError):
+            Poi.at(0.0, 0.0, 0.0)
+        with pytest.raises(GeometryError):
+            Poi.at(0.0, 0.0, math.nan)
+        with pytest.raises(GeometryError):
+            Poi.at(0.0, 0.0, math.inf)

@@ -126,9 +126,11 @@ class TestTimeDimension:
 
 
 class TestFigure2Schema:
-    def test_three_layers(self):
+    def test_layers(self):
+        # The paper's three layers plus the follow-up paper's Lp
+        # place-of-interest layer (empty unless with_pois is requested).
         schema = figure2_schema()
-        assert schema.layer_names == ["Ln", "Lr", "Ls"]
+        assert schema.layer_names == ["Ln", "Lp", "Lr", "Ls"]
 
     def test_river_hierarchy_matches_example2(self):
         # H1(Lr) = point -> line -> polyline -> All (Example 2).

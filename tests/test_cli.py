@@ -359,3 +359,34 @@ class TestIngest:
         result = run_cli("ingest", fig1_csv, "--world", "mars")
         assert result.returncode != 0
         assert "Traceback" not in result.stderr
+
+
+class TestPoiVerbInProcess:
+    """`python -m repro poi` through main([...]) — measured by coverage."""
+
+    @pytest.fixture()
+    def main(self):
+        from repro.__main__ import main as cli_main
+
+        return cli_main
+
+    def test_fig1_world(self, main, capsys):
+        assert main(["poi", "--world", "fig1", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "poi_market" in out
+        assert "QueryPlan" in out
+        assert "stop_episodes" in out
+
+    def test_synth_world_with_knobs(self, main, capsys):
+        assert main([
+            "poi", "--world", "synth",
+            "--objects", "10", "--k", "2", "--min-dwell", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "places" in out
+        assert "top-2" in out or "TOP" in out or "top" in out
+
+    def test_poi_subprocess_smoke(self):
+        result = run_cli("poi", "--world", "fig1")
+        assert result.returncode == 0
+        assert "Traceback" not in result.stderr
